@@ -1,0 +1,22 @@
+"""Shared fixtures for the benchmark suite.
+
+Each benchmark regenerates one paper table/figure: the pytest-benchmark
+fixture measures wall-clock of the experiment driver, while the printed
+table reports the *simulated* times that reproduce the paper's series
+(who wins, by what factor, where crossovers fall).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def report(result) -> None:
+    """Print an experiment table into the benchmark output."""
+    print()
+    print(result.table)
+
+
+@pytest.fixture(scope="session")
+def print_report():
+    return report

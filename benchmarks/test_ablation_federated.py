@@ -1,0 +1,55 @@
+"""A3: federated multi-tenant reuse ablation (paper §5.4 extension).
+
+The paper notes that for hierarchically-structured backends, local
+lineage-based reuse directly applies at federated workers [19].  This
+benchmark runs two tenants over a shared fleet and compares worker-local
+reuse on vs off.
+"""
+
+import numpy as np
+
+from repro.backends.federated import (
+    FederatedConfig,
+    FederatedCoordinator,
+    FederatedWorker,
+)
+from repro.common.simclock import SimClock
+from repro.harness.report import format_table
+
+
+def _run(reuse: bool) -> tuple[float, int]:
+    cfg = FederatedConfig(num_workers=4, flops_per_s=20e9)
+    fleet = [FederatedWorker(i, cfg) for i in range(4)]
+    clock = SimClock()
+    data = np.random.default_rng(3).random((20_000, 128))
+    total_reuses = 0
+    start = clock.now()
+    for _ in range(2):  # two tenants issue the same pipeline
+        coord = FederatedCoordinator(fleet, cfg, clock=clock, reuse=reuse)
+        fm = coord.federate("X", data)
+        gram = coord.tsmm(fm)
+        sums = coord.column_sums(fm)
+        beta = np.linalg.solve(gram + np.eye(128), sums.T)
+        coord.matvec(fm, beta)
+        total_reuses += coord.stats.get("federated/worker_reuses")
+    return clock.now() - start, total_reuses
+
+
+def test_ablation_federated_reuse(benchmark, print_report):
+    def run_both():
+        return _run(reuse=False), _run(reuse=True)
+
+    (t_off, _), (t_on, reuses) = benchmark.pedantic(
+        run_both, rounds=1, iterations=1
+    )
+
+    class _Result:
+        table = format_table(
+            ["worker-local reuse", "two-tenant time [ms]", "worker reuses"],
+            [["off", t_off * 1000, 0], ["on", t_on * 1000, reuses]],
+            title="Ablation: federated multi-tenant reuse (2 tenants)",
+        )
+
+    print_report(_Result())
+    assert t_on < t_off
+    assert reuses > 0

@@ -1,0 +1,12 @@
+"""A2: ablation of operator linearization (Algorithm 2) on HCV."""
+
+from repro.harness import run_ablation_ordering
+
+
+def test_ablation_ordering(benchmark, print_report):
+    result = benchmark.pedantic(
+        run_ablation_ordering, rounds=1, iterations=1
+    )
+    print_report(result)
+    assert result.grid["maxParallelize"].elapsed <= \
+        result.grid["depth-first"].elapsed * 1.02

@@ -1,0 +1,16 @@
+"""A1: ablation of eviction policies (Eq. 1 vs LRU/LRC/MRD) and delay
+factors on the CLEAN workload (design choices of §4.1/§5.2)."""
+
+from repro.harness import run_ablation_policies
+
+
+def test_ablation_policies(benchmark, print_report):
+    result = benchmark.pedantic(
+        run_ablation_policies, rounds=1, iterations=1
+    )
+    print_report(result)
+    cost_size = result.grid["cost_size"]
+    assert cost_size.counter("cache/hits") > 0
+    # every configuration completes and produces reuse
+    for label, run in result.grid.items():
+        assert run.elapsed > 0

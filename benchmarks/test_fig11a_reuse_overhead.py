@@ -1,0 +1,24 @@
+"""E3 (paper Fig. 11(a)): lineage tracing and reuse overhead vs size.
+
+Paper: for small inputs, tracing adds ~1.3x and probing ~2x overhead;
+for 8MB inputs the overheads become negligible and reuse yields 1.1x
+(20% reusable) to 3x (80% reusable) speedups.
+"""
+
+from repro.harness import run_experiment_fig11a
+
+
+def test_fig11a_reuse_overhead(benchmark, print_report):
+    result = benchmark.pedantic(
+        run_experiment_fig11a, rounds=1, iterations=1
+    )
+    print_report(result)
+    small = result.grid[800]
+    big = result.grid[8 * 1024 * 1024]
+    # overheads visible on tiny inputs
+    assert small["Trace"].elapsed > 1.1 * small["Base"].elapsed
+    assert small["Probe"].elapsed > 1.5 * small["Base"].elapsed
+    # overheads negligible and reuse profitable on large inputs
+    assert big["Probe"].elapsed < 1.35 * big["Base"].elapsed
+    assert big["Base"].elapsed / big["Reuse80"].elapsed > 2.0
+    assert big["Base"].elapsed / big["Reuse40"].elapsed > 1.15

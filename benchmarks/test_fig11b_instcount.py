@@ -1,0 +1,24 @@
+"""E4 (paper Fig. 11(b)): overhead vs instruction count.
+
+Paper: probing overhead grows with instruction count (reaching ~15%),
+20% reuse amortizes it, 40% reuse yields 1.5x, and an unlimited cache
+(40%INF) gives no further speedup over the bounded cache because the
+eviction policy retains high-reuse objects.
+"""
+
+from repro.harness import run_experiment_fig11b
+
+
+def test_fig11b_instruction_count(benchmark, print_report):
+    result = benchmark.pedantic(
+        run_experiment_fig11b, rounds=1, iterations=1
+    )
+    print_report(result)
+    largest = result.grid[500]
+    base = largest["Base"].elapsed
+    assert largest["Probe"].elapsed > base  # probing costs something
+    assert base / largest["Reuse40"].elapsed > 1.2
+    # INF cache does not beat the bounded cache by much
+    bounded = largest["Reuse40"].elapsed
+    unlimited = largest["Reuse40INF"].elapsed
+    assert unlimited > 0.8 * bounded

@@ -1,0 +1,21 @@
+"""E5 (paper Fig. 12(a)): influence of driver cache sizes.
+
+Paper: even a 900MB cache achieves a consistent 1.2x speedup; for larger
+inputs the 5GB cache yields slightly less speedup than 30GB (1.4x vs
+1.6x) — robustness of the eviction policy under small caches.
+"""
+
+from repro.harness import run_experiment_fig12a
+
+
+def test_fig12a_cache_sizes(benchmark, print_report):
+    result = benchmark.pedantic(
+        run_experiment_fig12a, rounds=1, iterations=1
+    )
+    print_report(result)
+    for gb, cells in result.grid.items():
+        base = cells["Base"].elapsed
+        small = base / cells["900MB"].elapsed
+        large = base / cells["30GB"].elapsed
+        assert small > 1.02, f"small cache must still help at {gb}GB"
+        assert large >= small * 0.9, "bigger caches never hurt much"

@@ -1,0 +1,22 @@
+"""E6 (paper Fig. 12(b)): GPU cache eviction under CNN scoring.
+
+Paper: probing overhead stays moderate even for batch size 2; from batch
+size 4, despite many evictions, 20/40/80% reuse yield consistent 1.3x,
+1.6x, and 4x improvements.
+"""
+
+from repro.harness import run_experiment_fig12b
+
+
+def test_fig12b_gpu_eviction(benchmark, print_report):
+    result = benchmark.pedantic(
+        run_experiment_fig12b, rounds=1, iterations=1
+    )
+    print_report(result)
+    for bs in (4, 8, 16):
+        cells = result.grid[bs]
+        base = cells["Base"].elapsed
+        assert base / cells["MPH80"].elapsed > \
+            base / cells["MPH20"].elapsed * 0.95
+        assert base / cells["MPH80"].elapsed > 1.2
+        assert cells["MPH80"].counter("gpu/pointers_reused") > 0

@@ -1,0 +1,31 @@
+"""E7 (paper Fig. 13(a)): HCV grid search / cross-validated linreg.
+
+Paper: MPH up to 9.6x over Base by reusing t(X)X and t(X)y per fold and
+running concurrent jobs; Base-A gains ~2x from async operators alone;
+LIMA reuses only local intermediates (matches Base once the core
+multiplies move to Spark); HELIX performs like Base (no coarse-grained
+reuse opportunities); MPH is faster than MPH-NA via parallel execution.
+"""
+
+from repro.harness import run_experiment_hcv
+
+
+def test_fig13a_hcv(benchmark, print_report):
+    result = benchmark.pedantic(
+        run_experiment_hcv, args=((5, 25, 50),), rounds=1, iterations=1
+    )
+    print_report(result)
+    for gb, runs in result.grid.items():
+        base = runs["Base"].elapsed
+        assert runs["MPH"].elapsed < base, f"MPH must win at {gb}GB"
+        assert runs["MPH"].elapsed <= runs["MPH-NA"].elapsed * 1.05
+        assert abs(runs["HELIX"].elapsed - base) / base < 0.15
+    distributed = result.grid[50]
+    assert distributed["Base-A"].elapsed < distributed["Base"].elapsed
+    # LIMA loses its advantage once the core multiplies run on Spark
+    local, dist = result.grid[5], result.grid[50]
+    lima_gain_local = local["Base"].elapsed / local["LIMA"].elapsed
+    lima_gain_dist = dist["Base"].elapsed / dist["LIMA"].elapsed
+    mph_gain_dist = dist["Base"].elapsed / dist["MPH"].elapsed
+    assert mph_gain_dist > lima_gain_dist
+    assert mph_gain_dist > 1.5

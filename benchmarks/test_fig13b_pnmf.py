@@ -1,0 +1,29 @@
+"""E8 (paper Fig. 13(b)): PNMF matrix factorization.
+
+Paper: beyond ~30 iterations Base and LIMA slow down super-linearly
+because each job lazily re-executes all previous iterations; MPH's
+compiler-placed checkpoints keep per-iteration cost constant (7.9x at 45
+iterations).
+"""
+
+from repro.harness import run_experiment_pnmf
+
+
+def test_fig13b_pnmf(benchmark, print_report):
+    result = benchmark.pedantic(
+        run_experiment_pnmf, args=((5, 15, 25, 35),), rounds=1, iterations=1
+    )
+    print_report(result)
+    # Base grows super-linearly: per-iteration cost increases
+    base_5 = result.grid[5]["Base"].elapsed / 5
+    base_35 = result.grid[35]["Base"].elapsed / 35
+    assert base_35 > 1.5 * base_5
+    # MPH stays linear: per-iteration cost roughly constant
+    mph_5 = result.grid[5]["MPH"].elapsed / 5
+    mph_35 = result.grid[35]["MPH"].elapsed / 35
+    assert mph_35 < 1.3 * mph_5
+    # crossover: MPH wins increasingly with iterations
+    assert result.grid[35]["Base"].elapsed > \
+        2.0 * result.grid[35]["MPH"].elapsed
+    assert result.grid[35]["MPH"].counter(
+        "compiler/checkpoints_placed") >= 35

@@ -1,0 +1,21 @@
+"""E9 (paper Fig. 13(c)): HBAND model search.
+
+Paper: MPH yields 2.6x/2.5x speedups for 5GB/20GB inputs over Base by
+reusing successive-halving iterations and the XB multiplications in
+ensemble weighting; MEMPHIS is ~40% faster than HELIX and LIMA.
+"""
+
+from repro.harness import run_experiment_hband
+
+
+def test_fig13c_hband(benchmark, print_report):
+    result = benchmark.pedantic(
+        run_experiment_hband, args=((5, 20),), rounds=1, iterations=1
+    )
+    print_report(result)
+    for gb, runs in result.grid.items():
+        base = runs["Base"].elapsed
+        mph = runs["MPH"].elapsed
+        assert base / mph > 1.5, f"MPH speedup too small at {gb}GB"
+        assert mph < runs["HELIX"].elapsed
+        assert mph < runs["LIMA"].elapsed

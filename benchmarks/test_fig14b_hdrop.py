@@ -1,0 +1,20 @@
+"""E11 (paper Fig. 14(b)): HDROP dropout-rate tuning.
+
+Paper: MPH achieves 1.7x over Base-G by reusing the batch-wise input
+data pipeline across epochs (feature transform on the host, normalization
+on the GPU); CoorDL reuses only the CPU part and is 24% slower than MPH.
+"""
+
+from repro.harness import run_experiment_hdrop
+
+
+def test_fig14b_hdrop(benchmark, print_report):
+    result = benchmark.pedantic(
+        run_experiment_hdrop, kwargs={"epochs": 5}, rounds=1, iterations=1
+    )
+    print_report(result)
+    runs = result.grid[0]
+    assert runs["MPH"].elapsed < runs["Base-G"].elapsed
+    assert runs["MPH"].elapsed <= runs["CoorDL"].elapsed * 1.02
+    assert runs["MPH"].counter("gpu/pointers_reused") > 0
+    assert runs["MPH"].counter("gpu/pointers_recycled") > 0

@@ -1,0 +1,23 @@
+"""E12 (paper Fig. 14(c)): EN2DE machine-translation scoring.
+
+Paper: MPH yields 5x over Base-G by reusing scoring results at the host
+(eliminating GPU computation for repeated words); MPH-F (pointer-level
+reuse) gives 4x; Clipper performs similar to MPH; PyTorch is 2x faster
+than Base-G but 2.4x slower than MPH.
+"""
+
+from repro.harness import run_experiment_en2de
+
+
+def test_fig14c_en2de(benchmark, print_report):
+    result = benchmark.pedantic(run_experiment_en2de, rounds=1, iterations=1)
+    print_report(result)
+    runs = result.grid[0]
+    base = runs["Base-G"].elapsed
+    assert base / runs["MPH"].elapsed > 2.5
+    assert runs["MPH-F"].elapsed < base  # pointer reuse helps
+    assert runs["PyTorch"].elapsed < base  # PyTorch beats Base-G
+    assert runs["PyTorch"].elapsed > runs["MPH"].elapsed  # but loses to MPH
+    # Clipper in the same ballpark as MPH (prediction caching)
+    assert runs["Clipper"].elapsed < base / 1.5
+    assert runs["MPH"].counter("cache/function_hits") > 500

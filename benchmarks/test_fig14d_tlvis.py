@@ -1,0 +1,40 @@
+"""E13 (paper Fig. 14(d)): TLVIS transfer-learning feature extraction.
+
+Paper: MEMPHIS yields 2-3x speedups by reusing intermediates during
+repetitive feature extraction, with evict(100) between models; VISTA
+performs similar to MPH via CSE; PyTorch (torch.compile) fails with OOM
+without manual empty_cache() (PyTorch-Clr) and is 1.5x slower than MPH.
+"""
+
+from repro.common.config import MB
+from repro.harness import run_experiment_tlvis
+from repro.workloads.tlvis import run_tlvis
+
+
+def test_fig14d_tlvis(benchmark, print_report):
+    result = benchmark.pedantic(run_experiment_tlvis, rounds=1, iterations=1)
+    print_report(result)
+    runs = result.grid[0]
+    base = runs["Base-G"].elapsed
+    assert runs["MPH"].elapsed < base
+    assert runs["VISTA"].elapsed < base
+    assert runs["MPH"].counter("compiler/evict_instructions") >= 2
+    assert runs["MPH"].counter("gpu/pointers_reused") > 0
+
+
+def test_fig14d_pytorch_oom_without_clear(benchmark):
+    """On a memory-constrained device, PyTorch OOMs across models while
+    PyTorch-Clr (manual empty_cache between models) and MPH survive."""
+    tight = 23 * MB
+
+    def run_all():
+        return (
+            run_tlvis("PyTorch", device_memory=tight),
+            run_tlvis("PyTorch-Clr", device_memory=tight),
+            run_tlvis("MPH", device_memory=tight),
+        )
+
+    pt, clr, mph = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    assert pt.failed is not None, "PyTorch should OOM without cleanup"
+    assert clr.failed is None, "PyTorch-Clr should survive"
+    assert mph.failed is None, "MPH eviction injection should survive"

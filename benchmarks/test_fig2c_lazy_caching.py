@@ -1,0 +1,19 @@
+"""E1 (paper Fig. 2(c)): eager vs lazy RDD caching.
+
+Paper: eager materialization of 12K RDDs (4K reusable) is 10x slower
+than no caching at all; MEMPHIS achieves a 2x speedup by reusing RDDs
+with lazy materialization.  Expected shape: Eager >> NoCache > MEMPHIS.
+"""
+
+from repro.harness import run_experiment_fig2c
+
+
+def test_fig2c_lazy_caching(benchmark, print_report):
+    result = benchmark.pedantic(run_experiment_fig2c, rounds=1, iterations=1)
+    print_report(result)
+    runs = result.grid[0]
+    nocache = runs["NoCache"].elapsed
+    eager = runs["Eager"].elapsed
+    memphis = runs["MEMPHIS"].elapsed
+    assert eager > 3 * nocache, "eager materialization must be much slower"
+    assert memphis < nocache, "MEMPHIS must beat no caching via reuse"

@@ -1,0 +1,15 @@
+"""E2 (paper Fig. 2(d)): GPU allocation/copy overhead breakdown.
+
+Paper: with forced per-kernel allocate/copy/free, memory allocation/free
+and copies take 4.6x and 9x longer than the actual computation.
+"""
+
+from repro.harness import run_experiment_fig2d
+
+
+def test_fig2d_gpu_overheads(benchmark, print_report):
+    result = benchmark.pedantic(run_experiment_fig2d, rounds=1, iterations=1)
+    print_report(result)
+    out = result.grid[0]
+    assert 3.0 < out["alloc_free_over_compute"] < 12.0
+    assert 5.0 < out["copy_over_compute"] < 18.0

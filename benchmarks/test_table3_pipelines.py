@@ -1,0 +1,72 @@
+"""E15 (paper Table 3): pipeline/dataset inventory.
+
+Prints the workload overview and verifies each pipeline's driver is
+runnable end-to-end with its influential technique exercised.
+"""
+
+from repro.harness.report import format_table
+from repro.workloads import (
+    run_clean,
+    run_en2de,
+    run_hband,
+    run_hcv,
+    run_hdrop,
+    run_pnmf,
+    run_tlvis,
+)
+
+ROWS = [
+    ["HCV", "Grid Search / Cross Validation", "Synthetic",
+     "Async. OPs, local & RDD reuse"],
+    ["PNMF", "Non-negative Matrix Factorization", "MovieLens-like",
+     "Checkpoint placement"],
+    ["HBAND", "Hyperband Model Selection", "Synthetic",
+     "Multi-level reuse, delayed caching"],
+    ["CLEAN", "Data Cleaning Pipelines", "APS-like",
+     "Large #intermediates & #evictions"],
+    ["HDROP", "Dropout Rate Tuning", "KDD98-like",
+     "Local and GPU ptr. reuse"],
+    ["EN2DE", "Machine Translation Inference", "WMT14-like",
+     "Recycle & reuse GPU ptrs."],
+    ["TLVIS", "Transfer Learning Feature Extraction",
+     "ImageNet/CIFAR-like", "Evictions & mem. management"],
+]
+
+
+def test_table3_overview(benchmark):
+    def render():
+        return format_table(
+            ["name", "use case", "dataset", "influential techniques"],
+            ROWS, title="Table 3: ML pipeline use cases & datasets",
+        )
+
+    table = benchmark.pedantic(render, rounds=1, iterations=1)
+    print()
+    print(table)
+
+
+def test_table3_influential_techniques(benchmark):
+    """Each pipeline exercises the technique Table 3 attributes to it."""
+    hcv = benchmark.pedantic(run_hcv, args=("MPH", 50.0),
+                             rounds=1, iterations=1)
+    assert hcv.counter("async/prefetch_issued") > 0  # async OPs
+    assert hcv.counter("spark/rdds_reused") > 0  # RDD reuse
+
+    pnmf = run_pnmf("MPH", 8)
+    assert pnmf.counter("compiler/checkpoints_placed") >= 8
+
+    hband = run_hband("MPH", 5.0)
+    assert hband.counter("cache/function_hits") > 0  # multi-level reuse
+
+    clean = run_clean("MPH", 60)
+    assert clean.counter("cache/hits") > 50  # many intermediates
+    assert clean.counter("cache/evictions") > 0  # ... and evictions
+
+    hdrop = run_hdrop("MPH")
+    assert hdrop.counter("gpu/pointers_reused") > 0
+
+    en2de = run_en2de("MPH")
+    assert en2de.counter("gpu/pointers_recycled") > 0
+
+    tlvis = run_tlvis("MPH")
+    assert tlvis.counter("compiler/evict_instructions") >= 2

@@ -1,0 +1,58 @@
+"""Example: multi-tenant reuse on federated workers (paper §5.4).
+
+For hierarchically-structured backends — federated workers holding raw
+data shards — local lineage-based reuse applies directly at every site.
+Two tenants (e.g. two data scientists of the same consortium) issue the
+same federated queries; the second tenant's requests hit the *worker-
+local* lineage caches populated by the first, without the raw data ever
+leaving the sites.
+
+Run:
+    python examples/federated_reuse.py
+"""
+
+import numpy as np
+
+from repro.backends.federated import (
+    FederatedConfig,
+    FederatedCoordinator,
+    FederatedWorker,
+)
+from repro.common.simclock import SimClock
+
+
+def main() -> None:
+    # modest edge hardware at the sites makes worker compute visible
+    # next to the WAN latency floor
+    cfg = FederatedConfig(num_workers=4, flops_per_s=20e9)
+    fleet = [FederatedWorker(i, cfg) for i in range(cfg.num_workers)]
+    clock = SimClock()  # tenants sharing a fleet share one time base
+    rng = np.random.default_rng(3)
+    data = rng.random((40_000, 256))
+
+    print(f"fleet: {cfg.num_workers} workers, "
+          f"{cfg.request_latency_s * 1000:.0f} ms RTT, "
+          f"{cfg.bandwidth_bytes_per_s / 1e6:.0f} MB/s links\n")
+
+    for tenant_id in (1, 2):
+        coord = FederatedCoordinator(fleet, cfg, clock=clock)
+        X = coord.federate("hospital_records", data)
+        t0 = coord.clock.now()
+        gram = coord.tsmm(X)              # federated t(X) %*% X
+        sums = coord.column_sums(X)       # federated colSums
+        beta = np.linalg.solve(gram + np.eye(256), sums.T)
+        scores = coord.matvec(X, beta)    # federated X %*% beta
+        elapsed = coord.clock.now() - t0
+        print(f"tenant {tenant_id}: {elapsed * 1000:8.2f} ms simulated, "
+              f"{coord.stats.get('federated/requests'):2d} requests, "
+              f"{coord.stats.get('federated/worker_reuses'):2d} "
+              f"worker-cache reuses")
+        assert np.isfinite(scores).all()
+
+    print("\ntenant 2 pays only the WAN latency floor: every request hit")
+    print("the worker-local lineage caches populated by tenant 1, so no")
+    print("worker compute re-runs and no raw data ever leaves the sites.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Example: query processing over lineage traces (paper §8 future work).
+
+Beyond reuse, lineage traces support model-debugging queries: provenance
+("does this model depend on dataset X?"), diffing two pipeline runs to
+locate the changed hyper-parameter, and exposing the common sub-traces
+that explain *why* MEMPHIS reused what it reused.
+
+Run:
+    python examples/lineage_queries.py
+"""
+
+import numpy as np
+
+from repro import MemphisConfig, Session
+from repro.lineage import (
+    common_subtraces,
+    data_sources,
+    depends_on,
+    diff_traces,
+    trace_stats,
+)
+from repro.ml import lin_reg_ds
+
+
+def main() -> None:
+    sess = Session(MemphisConfig.memphis())
+    rng = np.random.default_rng(11)
+    X = sess.read(rng.random((500, 16)), "train_features")
+    y = sess.read(rng.random((500, 1)), "train_labels")
+
+    beta_a = lin_reg_ds(sess, X, y, reg=0.1)
+    beta_b = lin_reg_ds(sess, X, y, reg=10.0)
+    trace_a = sess.lineage_of(beta_a)
+    trace_b = sess.lineage_of(beta_b)
+
+    stats = trace_stats(trace_a)
+    print("trace of linRegDS(reg=0.1):")
+    print(f"  nodes={stats.num_nodes} height={stats.height} "
+          f"operators={stats.num_operators}")
+    print(f"  opcode histogram: {stats.opcode_histogram}")
+
+    print("\nprovenance:")
+    print(f"  data sources        : {data_sources(trace_a)}")
+    print(f"  depends on labels?  : "
+          f"{depends_on(trace_a, 'train_labels')}")
+    print(f"  depends on 'other'? : {depends_on(trace_a, 'other')}")
+
+    diff = diff_traces(trace_a, trace_b)
+    left, right = diff.divergence
+    print("\ndiff of the two runs (changed hyper-parameter):")
+    print(f"  equal: {diff.equal}")
+    print(f"  divergence at: {left.opcode}{left.data} vs "
+          f"{right.opcode}{right.data}")
+
+    shared = common_subtraces(trace_a, trace_b)
+    print("\nreuse frontier (maximal common sub-traces):")
+    for item in shared:
+        print(f"  {item.opcode:8s} height={item.height} "
+              f"(reused when run B follows run A)")
+
+
+if __name__ == "__main__":
+    main()

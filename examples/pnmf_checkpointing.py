@@ -1,0 +1,32 @@
+"""Example: lazy-evaluation blowup and compiler checkpoint placement.
+
+Reproduces the phenomenon of paper Fig. 9(c)/13(b) on Poisson
+non-negative matrix factorization: without checkpoints, every iteration's
+Spark jobs lazily re-execute all previous iterations (super-linear
+slowdown); MEMPHIS's loop-checkpoint rewrite persists the updated factor
+each iteration, keeping per-iteration cost constant.
+
+Run:
+    python examples/pnmf_checkpointing.py
+"""
+
+from repro.workloads.pnmf_wl import run_pnmf
+
+
+def main() -> None:
+    print(f"{'iterations':>10s}  {'Base [ms]':>10s}  {'MPH [ms]':>10s}  "
+          f"{'speedup':>8s}  {'checkpoints':>11s}")
+    for iterations in (5, 15, 25, 35):
+        base = run_pnmf("Base", iterations)
+        mph = run_pnmf("MPH", iterations)
+        print(f"{iterations:>10d}  {base.elapsed * 1000:>10.1f}  "
+              f"{mph.elapsed * 1000:>10.1f}  "
+              f"{base.elapsed / mph.elapsed:>8.2f}  "
+              f"{mph.counter('compiler/checkpoints_placed'):>11d}")
+    print()
+    print("Base grows super-linearly (lazy re-execution of all previous")
+    print("iterations); MPH stays linear thanks to per-iteration persist.")
+
+
+if __name__ == "__main__":
+    main()

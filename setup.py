@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e .`` falls back to ``setup.py develop`` when a setup.py
+is present, which avoids the bdist_wheel requirement; all metadata lives
+in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,33 @@
+"""MEMPHIS reproduction: holistic lineage-based reuse and memory
+management for multi-backend ML systems (Phani & Boehm, EDBT 2025).
+
+Public entry points:
+
+* :class:`Session` — the execution context (compiler, backends, cache).
+* :class:`MemphisConfig` — configuration presets for the paper's
+  baselines (``Base``, ``Base-A``, ``LIMA``, ``HELIX``, ``MPH-NA``,
+  ``MPH-F``, ``MPH``).
+* :mod:`repro.ml` — the algorithm library (linRegDS, L2SVM, PNMF, ...).
+* :mod:`repro.workloads` — the end-to-end pipelines of the evaluation.
+"""
+
+from repro.common.config import (
+    EvictionPolicyName,
+    MemphisConfig,
+    ReuseMode,
+    StorageLevel,
+)
+from repro.core.session import Session
+from repro.runtime.handles import MatrixHandle
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Session",
+    "MemphisConfig",
+    "ReuseMode",
+    "EvictionPolicyName",
+    "StorageLevel",
+    "MatrixHandle",
+    "__version__",
+]

@@ -1,0 +1,1 @@
+"""Execution backends: local CPU, Spark cluster simulator, GPU simulator."""

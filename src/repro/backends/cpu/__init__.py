@@ -1,0 +1,6 @@
+"""Local CPU backend: numpy kernels and a buffer pool."""
+
+from repro.backends.cpu.backend import CpuBackend
+from repro.backends.cpu.bufferpool import BufferPool
+
+__all__ = ["CpuBackend", "BufferPool"]

@@ -1,0 +1,40 @@
+"""Local CPU backend: eager numpy execution with simulated cost charging."""
+
+from __future__ import annotations
+
+from repro.backends.cpu import kernels
+from repro.common.config import CpuConfig
+from repro.common.costs import op_flops
+from repro.common.simclock import HOST, SimClock
+from repro.common.stats import INSTRUCTIONS_EXECUTED, Stats
+from repro.runtime.values import Value
+
+
+class CpuBackend:
+    """Eager, synchronous execution of instructions on the host (Table 2)."""
+
+    name = "CP"
+
+    def __init__(self, config: CpuConfig, clock: SimClock, stats: Stats) -> None:
+        self.config = config
+        self.clock = clock
+        self.stats = stats
+
+    def execute(self, opcode: str, inputs: list[Value], attrs: dict) -> Value:
+        """Run one instruction; returns its value and charges host time."""
+        out = kernels.execute(opcode, inputs, attrs)
+        in_shapes = [v.shape for v in inputs] or [(1, 1)]
+        flops = op_flops(opcode, in_shapes, out.shape)
+        nbytes = out.nbytes + sum(v.nbytes for v in inputs)
+        t_compute = flops / self.config.flops_per_s
+        t_memory = nbytes / self.config.mem_bandwidth_bytes_per_s
+        self.clock.advance(
+            self.config.instruction_overhead_s + max(t_compute, t_memory),
+            HOST,
+        )
+        self.stats.inc(INSTRUCTIONS_EXECUTED)
+        return out
+
+    def supports(self, opcode: str) -> bool:
+        """Whether this backend has a kernel for ``opcode``."""
+        return opcode in kernels.supported_opcodes()

@@ -1,0 +1,126 @@
+"""CPU buffer pool with byte budget and simulated disk spilling.
+
+Models SystemDS's buffer pool: in-memory matrix blocks are pinned while in
+use; unpinned blocks may be evicted to local disk under memory pressure
+and restored on next access.  Because this is a simulator, evicted arrays
+are retained in a shadow store and the pool charges simulated disk I/O
+time instead of actually serializing them.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.common.config import CpuConfig
+from repro.common.errors import BufferPoolError
+from repro.common.simclock import HOST, SimClock
+from repro.common.stats import BUFFERPOOL_EVICTIONS, Stats
+from repro.runtime.values import Value
+
+
+@dataclass
+class _Block:
+    value: Value
+    nbytes: int
+    pinned: int = 0
+    on_disk: bool = False
+
+
+class BufferPool:
+    """LRU buffer pool over named matrix blocks."""
+
+    def __init__(self, config: CpuConfig, clock: SimClock, stats: Stats) -> None:
+        self._config = config
+        self._clock = clock
+        self._stats = stats
+        self._blocks: OrderedDict[int, _Block] = OrderedDict()
+        self._in_memory_bytes = 0
+
+    @property
+    def in_memory_bytes(self) -> int:
+        """Bytes currently resident in memory."""
+        return self._in_memory_bytes
+
+    @property
+    def capacity(self) -> int:
+        return self._config.buffer_pool_bytes
+
+    def put(self, block_id: int, value: Value) -> None:
+        """Register a new block, evicting LRU blocks if over budget."""
+        nbytes = value.nbytes
+        if block_id in self._blocks:
+            self.touch(block_id)
+            return
+        self._make_space(nbytes)
+        self._blocks[block_id] = _Block(value, nbytes)
+        self._in_memory_bytes += nbytes
+
+    def get(self, block_id: int) -> Value:
+        """Fetch a block, restoring it from disk if evicted."""
+        block = self._blocks.get(block_id)
+        if block is None:
+            raise BufferPoolError(f"unknown buffer pool block {block_id}")
+        if block.on_disk:
+            # charge a disk read and bring the block back in
+            self._make_space(block.nbytes)
+            self._clock.advance(
+                block.nbytes / self._config.disk_bytes_per_s, HOST
+            )
+            block.on_disk = False
+            self._in_memory_bytes += block.nbytes
+        self._blocks.move_to_end(block_id)
+        return block.value
+
+    def touch(self, block_id: int) -> None:
+        """Mark a block most-recently-used."""
+        if block_id in self._blocks:
+            self._blocks.move_to_end(block_id)
+
+    def pin(self, block_id: int) -> None:
+        """Pin a block in memory (in use by a running operator)."""
+        block = self._blocks.get(block_id)
+        if block is not None:
+            if block.on_disk:
+                self.get(block_id)
+            block.pinned += 1
+
+    def unpin(self, block_id: int) -> None:
+        """Release a pin."""
+        block = self._blocks.get(block_id)
+        if block is not None and block.pinned > 0:
+            block.pinned -= 1
+
+    def remove(self, block_id: int) -> None:
+        """Drop a block entirely (variable went out of scope)."""
+        block = self._blocks.pop(block_id, None)
+        if block is not None and not block.on_disk:
+            self._in_memory_bytes -= block.nbytes
+
+    def contains(self, block_id: int) -> bool:
+        return block_id in self._blocks
+
+    def _make_space(self, nbytes: int) -> None:
+        """Evict LRU unpinned blocks to disk until ``nbytes`` fit."""
+        if nbytes > self.capacity:
+            raise BufferPoolError(
+                f"block of {nbytes} bytes exceeds buffer pool capacity "
+                f"{self.capacity}"
+            )
+        while self._in_memory_bytes + nbytes > self.capacity:
+            victim_id = next(
+                (bid for bid, blk in self._blocks.items()
+                 if not blk.pinned and not blk.on_disk),
+                None,
+            )
+            if victim_id is None:
+                raise BufferPoolError(
+                    "buffer pool exhausted: all blocks pinned"
+                )
+            victim = self._blocks[victim_id]
+            self._clock.advance(
+                victim.nbytes / self._config.disk_bytes_per_s, HOST
+            )
+            victim.on_disk = True
+            self._in_memory_bytes -= victim.nbytes
+            self._stats.inc(BUFFERPOOL_EVICTIONS)

@@ -1,0 +1,23 @@
+"""Federated backend extension: deeper hierarchies (paper §5.4).
+
+Federated workers hold raw data shards, execute shipped instructions,
+and reuse results through *worker-local, multi-tenant* lineage caches
+(ExDRa-style, [18, 19] in the paper).
+"""
+
+from repro.backends.federated.coordinator import (
+    FED_REQUESTS,
+    FED_REUSED,
+    FederatedCoordinator,
+    FederatedMatrix,
+)
+from repro.backends.federated.worker import FederatedConfig, FederatedWorker
+
+__all__ = [
+    "FederatedConfig",
+    "FederatedWorker",
+    "FederatedCoordinator",
+    "FederatedMatrix",
+    "FED_REQUESTS",
+    "FED_REUSED",
+]

@@ -1,0 +1,25 @@
+"""GPU backend simulator: device memory, async stream, unified manager."""
+
+from repro.backends.gpu.backend import GPU_OPCODES, GpuBackend, GpuData
+from repro.backends.gpu.device import GpuDevice
+from repro.backends.gpu.memmanager import (
+    MODE_MALLOC,
+    MODE_MEMPHIS,
+    MODE_POOL,
+    GpuMemoryManager,
+)
+from repro.backends.gpu.pointers import GpuPointer
+from repro.backends.gpu.stream import GpuStream
+
+__all__ = [
+    "GpuBackend",
+    "GpuData",
+    "GpuDevice",
+    "GpuMemoryManager",
+    "GpuPointer",
+    "GpuStream",
+    "GPU_OPCODES",
+    "MODE_MALLOC",
+    "MODE_POOL",
+    "MODE_MEMPHIS",
+]

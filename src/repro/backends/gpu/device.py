@@ -1,0 +1,117 @@
+"""GPU device memory: a first-fit address-space allocator.
+
+Models ``cudaMalloc``/``cudaFree`` over a contiguous address space so that
+*fragmentation is real*: repeated allocation/deallocation of mixed sizes
+produces holes, allocations fail when no contiguous block fits even
+though total free memory suffices, and defragmentation (compaction) is an
+explicit, expensive operation — the cost structure that motivates the
+paper's recycling design (§2.3, §4.2).
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from typing import Optional
+
+from repro.common.config import GpuConfig
+from repro.common.errors import GpuError
+
+
+def _align(size: int, alignment: int) -> int:
+    return -(-size // alignment) * alignment
+
+
+class GpuDevice:
+    """Contiguous device address space with first-fit allocation."""
+
+    def __init__(self, config: GpuConfig) -> None:
+        self.config = config
+        self.capacity = config.device_memory
+        #: sorted list of free (offset, size) holes.
+        self._free: list[tuple[int, int]] = [(0, self.capacity)]
+        #: offset -> size of live allocations.
+        self._allocated: dict[int, int] = {}
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(self._allocated.values())
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity - self.used_bytes
+
+    @property
+    def largest_free_block(self) -> int:
+        return max((size for _, size in self._free), default=0)
+
+    @property
+    def fragmentation(self) -> float:
+        """1 - largest_hole/free_bytes: 0 = contiguous, ->1 = shattered."""
+        free = self.free_bytes
+        if free == 0:
+            return 0.0
+        return 1.0 - self.largest_free_block / free
+
+    def num_allocations(self) -> int:
+        return len(self._allocated)
+
+    # -- allocation ----------------------------------------------------------
+
+    def malloc(self, size: int) -> Optional[int]:
+        """First-fit allocate; returns the offset or ``None`` on failure."""
+        if size <= 0:
+            raise GpuError(f"invalid allocation size {size}")
+        size = _align(size, self.config.alignment)
+        for i, (offset, hole) in enumerate(self._free):
+            if hole >= size:
+                if hole == size:
+                    self._free.pop(i)
+                else:
+                    self._free[i] = (offset + size, hole - size)
+                self._allocated[offset] = size
+                return offset
+        return None
+
+    def free(self, offset: int) -> int:
+        """Release an allocation, coalescing adjacent holes; returns size."""
+        size = self._allocated.pop(offset, None)
+        if size is None:
+            raise GpuError(f"double free or invalid offset {offset}")
+        insort(self._free, (offset, size))
+        self._coalesce()
+        return size
+
+    def defragment(self) -> int:
+        """Compact all live allocations to the start of the address space.
+
+        Returns the number of bytes moved (the caller charges copy time).
+        Live offsets are remapped; callers must use the returned mapping.
+        """
+        moved = 0
+        new_allocated: dict[int, int] = {}
+        self.relocation_map: dict[int, int] = {}
+        cursor = 0
+        for offset in sorted(self._allocated):
+            size = self._allocated[offset]
+            if offset != cursor:
+                moved += size
+            self.relocation_map[offset] = cursor
+            new_allocated[cursor] = size
+            cursor += size
+        self._allocated = new_allocated
+        self._free = (
+            [(cursor, self.capacity - cursor)] if cursor < self.capacity else []
+        )
+        return moved
+
+    def _coalesce(self) -> None:
+        merged: list[tuple[int, int]] = []
+        for offset, size in self._free:
+            if merged and merged[-1][0] + merged[-1][1] == offset:
+                prev_off, prev_size = merged[-1]
+                merged[-1] = (prev_off, prev_size + size)
+            else:
+                merged.append((offset, size))
+        self._free = merged

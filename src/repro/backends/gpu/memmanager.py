@@ -1,0 +1,339 @@
+"""Unified GPU memory manager: Live/Free lists, recycling, eviction.
+
+Implements the paper's §4.2 design (Fig. 8, Algorithm 1):
+
+* every pointer from allocation to deallocation is managed here;
+* the *Live* list holds pointers referenced by live variables
+  (reference-counted); after the last release a pointer moves to the
+  *Free* list — a hash map from size to a score-ordered queue;
+* an allocation request first *recycles* an exact-size free pointer
+  (no ``cudaMalloc``, no synchronization); otherwise it walks
+  Algorithm 1: malloc → free a just-larger pointer → repeatedly free →
+  flush all free pointers → device-to-host eviction → defragmentation;
+* the eviction score (Eq. 2) ``T_a(o) + 1/h(o) + c(o)`` orders each
+  queue so recently-reused, short-lineage, expensive pointers survive.
+
+The manager supports three modes so baselines share one implementation:
+``malloc`` (cudaMalloc/cudaFree every time — Base), ``pool`` (exact-size
+recycling only — PyTorch's caching allocator), and ``memphis`` (full
+Algorithm 1 integrated with the lineage cache via the invalidation
+callback).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.backends.gpu.device import GpuDevice
+from repro.backends.gpu.pointers import GpuPointer
+from repro.backends.gpu.stream import GpuStream
+from repro.common.config import GpuConfig
+from repro.common.errors import GpuOutOfMemoryError
+from repro.common.simclock import DEVICE, HOST, SimClock
+from repro.common.stats import (
+    GPU_DEFRAGS,
+    GPU_EVICT_D2H,
+    GPU_FREES,
+    GPU_MALLOCS,
+    GPU_RECYCLED,
+    GPU_REUSED,
+    Stats,
+)
+
+MODE_MALLOC = "malloc"
+MODE_POOL = "pool"
+MODE_MEMPHIS = "memphis"
+
+
+class GpuMemoryManager:
+    """Reference-counted pointer manager with recycling and eviction."""
+
+    def __init__(self, device: GpuDevice, stream: GpuStream, clock: SimClock,
+                 stats: Stats, mode: str = MODE_MEMPHIS,
+                 on_invalidate: Optional[Callable[[GpuPointer], None]] = None) -> None:
+        self.device = device
+        self.stream = stream
+        self.clock = clock
+        self.stats = stats
+        self.mode = mode
+        #: called before a free pointer's contents are destroyed, so the
+        #: lineage cache can drop or host-save the entry backed by it.
+        self.on_invalidate = on_invalidate or (lambda ptr: None)
+        self.live: dict[int, GpuPointer] = {}
+        self.free_lists: dict[int, list[GpuPointer]] = {}
+        self.free_bytes_pooled = 0
+        self._allocs_since_gc = 0
+
+    # -- configuration helpers ------------------------------------------------
+
+    @property
+    def config(self) -> GpuConfig:
+        return self.device.config
+
+    # -- public allocation API ---------------------------------------------------
+
+    def allocate(self, size: int, shape: tuple[int, int] = (0, 0)) -> GpuPointer:
+        """Serve an allocation request (Algorithm 1)."""
+        size = max(size, self.config.alignment)
+        if self.mode in (MODE_POOL, MODE_MEMPHIS):
+            recycled = self._recycle_exact(size, shape)
+            if recycled is not None:
+                return recycled
+        offset = self._cuda_malloc(size)
+        if offset is None and self.mode == MODE_MEMPHIS:
+            offset = self._alloc_with_eviction(size)
+        elif offset is None and self.mode == MODE_POOL:
+            # PyTorch frees its cached blocks on allocation failure
+            self._maybe_collect_garbage()
+            self._flush_free_lists()
+            offset = self._cuda_malloc(size)
+        if offset is None:
+            raise GpuOutOfMemoryError(
+                size, self.device.free_bytes, self.device.largest_free_block
+            )
+        ptr = GpuPointer(offset, size, shape)
+        ptr.retain()
+        ptr.last_access = self.clock.now(DEVICE)
+        self.live[ptr.id] = ptr
+        return ptr
+
+    def retain(self, ptr: GpuPointer) -> None:
+        """A new live variable references ``ptr``."""
+        ptr.retain()
+        if ptr.id not in self.live:
+            self.live[ptr.id] = ptr
+
+    def release(self, ptr: GpuPointer) -> None:
+        """Drop one reference; at zero the pointer moves to the Free list."""
+        if ptr.freed:
+            return
+        if ptr.release() > 0:
+            return
+        self.live.pop(ptr.id, None)
+        if self.mode == MODE_MALLOC:
+            self._cuda_free(ptr)
+            return
+        self.free_lists.setdefault(ptr.size, []).append(ptr)
+        self.free_bytes_pooled += ptr.size
+
+    def reuse_from_free(self, ptr: GpuPointer) -> GpuPointer:
+        """Lineage-cache hit on a pointer sitting in the Free list.
+
+        Moves it back to Live (Fig. 8(c)) without touching the device.
+        """
+        queue = self.free_lists.get(ptr.size)
+        if queue is not None and ptr in queue:
+            queue.remove(ptr)
+            self.free_bytes_pooled -= ptr.size
+            if not queue:
+                del self.free_lists[ptr.size]
+        ptr.retain()
+        ptr.last_access = self.clock.now(DEVICE)
+        self.live[ptr.id] = ptr
+        self.stats.inc(GPU_REUSED)
+        return ptr
+
+    def touch(self, ptr: GpuPointer) -> None:
+        """Update recency metadata on access (feeds Eq. 2)."""
+        ptr.last_access = self.clock.now(DEVICE)
+
+    def empty_cache(self, fraction: float = 1.0) -> int:
+        """Free ``fraction`` of pooled bytes, lowest-score first (§5.2).
+
+        This is the runtime implementation of the compiler's ``evict``
+        instruction (eviction injection) and of PyTorch's
+        ``empty_cache()``.  Returns the number of pointers freed.
+        """
+        target = self.free_bytes_pooled * min(max(fraction, 0.0), 1.0)
+        freed_bytes = 0
+        freed_count = 0
+        while freed_bytes < target and self.free_bytes_pooled > 0:
+            victim = self._global_victim()
+            if victim is None:
+                break
+            freed_bytes += victim.size
+            freed_count += 1
+            self._destroy_free_pointer(victim)
+        return freed_count
+
+    def evict_to_host(self, ptr: GpuPointer) -> None:
+        """Device-to-host eviction of a free pointer (keeps data on host)."""
+        self.stream.copy_d2h(ptr.size)
+        self.stats.inc(GPU_EVICT_D2H)
+        self._destroy_free_pointer(ptr, invalidate=False)
+
+    # -- Algorithm 1 ----------------------------------------------------------
+
+    def _recycle_exact(self, size: int, shape: tuple[int, int]) -> Optional[GpuPointer]:
+        """Step 0: recycle a free pointer of the exact size (no malloc).
+
+        Pointers backing lineage-cache entries are only recycled once the
+        device is full (paper: "once the GPU memory is full, we start
+        recycling the free pointers as a form of eviction"); uncached
+        pool pointers recycle freely — the mini-batch fast path.
+        """
+        queue = self.free_lists.get(size)
+        if not queue:
+            return None
+        uncached = [p for p in queue if not p.cached]
+        if uncached:
+            max_cost = max((p.compute_cost for p in uncached), default=1.0)
+            victim = min(uncached, key=lambda p: self._score(p, max_cost))
+            queue.remove(victim)
+            if not queue:
+                self.free_lists.pop(size, None)
+            self.free_bytes_pooled -= victim.size
+        else:
+            if self.mode == MODE_MEMPHIS and self._device_has_room(size):
+                return None  # prefer a fresh malloc; keep cached pointers
+            victim = self._pop_victim(queue, size)
+        self.on_invalidate(victim)
+        # reuse the allocation in place: same offset, new identity
+        ptr = GpuPointer(victim.offset, victim.size, shape)
+        ptr.retain()
+        ptr.last_access = self.clock.now(DEVICE)
+        victim.freed = True
+        self.live[ptr.id] = ptr
+        self.stats.inc(GPU_RECYCLED)
+        return ptr
+
+    def _device_has_room(self, size: int) -> bool:
+        """Whether a fresh cudaMalloc of ``size`` would succeed now."""
+        aligned = -(-size // self.config.alignment) * self.config.alignment
+        return self.device.largest_free_block >= aligned
+
+    def _alloc_with_eviction(self, size: int) -> Optional[int]:
+        """Steps 2-6 of Algorithm 1 after a failed first malloc."""
+        # under memory pressure, collect host garbage so pending pointer
+        # releases reach the Free lists (SystemDS triggers JVM GC in the
+        # same situation); rate-limited because full collections over a
+        # large host heap are expensive
+        if self._maybe_collect_garbage():
+            offset = self._cuda_malloc(size)
+            if offset is not None:
+                return offset
+        # step 2: free a pointer just larger than the required size
+        larger_sizes = sorted(s for s in self.free_lists if s > size)
+        if larger_sizes:
+            queue = self.free_lists[larger_sizes[0]]
+            victim = self._pop_victim(queue, larger_sizes[0])
+            self._destroy_free_pointer(victim, already_popped=True)
+            offset = self._cuda_malloc(size)
+            if offset is not None:
+                return offset
+        # step 3: repeatedly free pointers until malloc succeeds
+        while self.free_bytes_pooled > 0:
+            victim = self._global_victim()
+            if victim is None:
+                break
+            self._destroy_free_pointer(victim)
+            offset = self._cuda_malloc(size)
+            if offset is not None:
+                return offset
+        # step 4: clean up all free pointers
+        self._flush_free_lists()
+        offset = self._cuda_malloc(size)
+        if offset is not None:
+            return offset
+        # step 5 (rare): full defragmentation of live allocations
+        offset = self._defragment_and_malloc(size)
+        return offset
+
+    # -- internals ---------------------------------------------------------------
+
+    def _maybe_collect_garbage(self) -> bool:
+        """Run a host GC at most every 64 pressured allocations."""
+        import gc
+
+        self._allocs_since_gc += 1
+        if self._allocs_since_gc >= 64 or self._allocs_since_gc == 1:
+            gc.collect()
+            self._allocs_since_gc = 1
+            return True
+        return False
+
+    def _cuda_malloc(self, size: int) -> Optional[int]:
+        offset = self.device.malloc(size)
+        if offset is not None:
+            # cudaMalloc synchronizes the device and costs driver latency
+            self.stream.synchronize()
+            self.clock.advance(self.config.malloc_latency_s, HOST)
+            self.clock.advance_to(self.clock.now(HOST), DEVICE)
+            self.stats.inc(GPU_MALLOCS)
+        return offset
+
+    def _cuda_free(self, ptr: GpuPointer) -> None:
+        if ptr.freed:
+            return
+        self.stream.synchronize()
+        self.clock.advance(self.config.free_latency_s, HOST)
+        self.clock.advance_to(self.clock.now(HOST), DEVICE)
+        self.device.free(ptr.offset)
+        ptr.freed = True
+        self.stats.inc(GPU_FREES)
+
+    def _destroy_free_pointer(self, ptr: GpuPointer,
+                              already_popped: bool = False,
+                              invalidate: bool = True) -> None:
+        if not already_popped:
+            queue = self.free_lists.get(ptr.size)
+            if queue and ptr in queue:
+                queue.remove(ptr)
+                self.free_bytes_pooled -= ptr.size
+                if not queue:
+                    del self.free_lists[ptr.size]
+        if invalidate:
+            self.on_invalidate(ptr)
+        self._cuda_free(ptr)
+
+    def _flush_free_lists(self) -> None:
+        for size in list(self.free_lists):
+            for ptr in list(self.free_lists.get(size, ())):
+                self._destroy_free_pointer(ptr)
+
+    def _defragment_and_malloc(self, size: int) -> Optional[int]:
+        moved = self.device.defragment()
+        self.stream.synchronize()
+        self.clock.advance(
+            moved / self.config.mem_bandwidth_bytes_per_s, HOST
+        )
+        self.clock.advance_to(self.clock.now(HOST), DEVICE)
+        self.stats.inc(GPU_DEFRAGS)
+        relocation = getattr(self.device, "relocation_map", {})
+        for ptr in self.live.values():
+            if ptr.offset in relocation:
+                ptr.offset = relocation[ptr.offset]
+        return self.device.malloc(size)
+
+    def _score(self, ptr: GpuPointer, max_cost: float) -> float:
+        """Eq. 2: ``T_a(o) + 1/h(o) + c(o)`` with normalized terms."""
+        now = max(self.clock.now(DEVICE), 1e-9)
+        t_a = ptr.last_access / now
+        height_term = 1.0 / max(ptr.lineage_height, 1)
+        cost_term = ptr.compute_cost / max(max_cost, 1e-9)
+        return t_a + height_term + cost_term
+
+    def _pop_victim(self, queue: list[GpuPointer], size: int) -> GpuPointer:
+        """Remove and return the minimum-score pointer of one queue."""
+        max_cost = max((p.compute_cost for p in queue), default=1.0)
+        victim = min(queue, key=lambda p: self._score(p, max_cost))
+        queue.remove(victim)
+        if not queue:
+            self.free_lists.pop(size, None)
+        self.free_bytes_pooled -= victim.size
+        return victim
+
+    def _global_victim(self) -> Optional[GpuPointer]:
+        """Minimum-score pointer across all free queues (not yet popped)."""
+        best: Optional[GpuPointer] = None
+        best_score = float("inf")
+        max_cost = max(
+            (p.compute_cost for q in self.free_lists.values() for p in q),
+            default=1.0,
+        )
+        for queue in self.free_lists.values():
+            for ptr in queue:
+                score = self._score(ptr, max_cost)
+                if score < best_score:
+                    best, best_score = ptr, score
+        return best

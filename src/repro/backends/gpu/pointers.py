@@ -1,0 +1,57 @@
+"""GPU pointer objects: reference-counted handles to device allocations.
+
+A :class:`GpuPointer` carries the device offset/size, a host-side shadow
+of the device contents (the simulator computes real values), and the
+metadata the eviction policy (Eq. 2) needs: last access time, the height
+of the producing lineage trace, and the analytical compute cost.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+import numpy as np
+
+_ptr_ids = itertools.count(1)
+
+
+class GpuPointer:
+    """A device allocation with simulator-side shadow data."""
+
+    __slots__ = (
+        "id", "offset", "size", "shape", "data", "ref_count",
+        "last_access", "lineage_height", "compute_cost", "freed",
+        "cached",
+    )
+
+    def __init__(self, offset: int, size: int,
+                 shape: tuple[int, int] = (0, 0)) -> None:
+        self.id = next(_ptr_ids)
+        self.offset = offset
+        self.size = size
+        self.shape = shape
+        self.data: Optional[np.ndarray] = None
+        self.ref_count = 0
+        self.last_access = 0.0
+        self.lineage_height = 1
+        self.compute_cost = 0.0
+        self.freed = False
+        #: whether a lineage-cache entry references this pointer; cached
+        #: pointers are recycled only under memory pressure (§4.2).
+        self.cached = False
+
+    def retain(self) -> "GpuPointer":
+        """Increment the live-variable reference count."""
+        self.ref_count += 1
+        return self
+
+    def release(self) -> int:
+        """Decrement the reference count; returns the remaining count."""
+        if self.ref_count > 0:
+            self.ref_count -= 1
+        return self.ref_count
+
+    def __repr__(self) -> str:
+        state = "freed" if self.freed else f"rc={self.ref_count}"
+        return f"GpuPointer#{self.id}(off={self.offset}, {self.size}B, {state})"

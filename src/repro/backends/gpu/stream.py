@@ -1,0 +1,74 @@
+"""GPU execution stream: asynchronous kernels, synchronization barriers.
+
+CUDA kernel execution is eager and sequential within a stream but
+asynchronous for the calling host thread (paper §2.3).  We model this
+with two timelines: kernel launches cost the host only the launch
+latency, while the *device* timeline accumulates kernel durations.
+``cudaFree`` and device-to-host copies are synchronization barriers that
+join the host to the device timeline — the key overhead Fig. 2(d)
+quantifies and MEMPHIS's recycling avoids.
+"""
+
+from __future__ import annotations
+
+from repro.common.config import GpuConfig
+from repro.common.costs import compute_time
+from repro.common.simclock import DEVICE, HOST, SimClock
+from repro.common.stats import (
+    GPU_D2H,
+    GPU_H2D,
+    GPU_KERNELS,
+    GPU_SYNCS,
+    Stats,
+)
+
+
+class GpuStream:
+    """The single CUDA stream of the simulated device."""
+
+    def __init__(self, config: GpuConfig, clock: SimClock, stats: Stats) -> None:
+        self.config = config
+        self.clock = clock
+        self.stats = stats
+
+    def launch(self, flops: float, bytes_touched: int) -> None:
+        """Enqueue a kernel: host pays launch latency, device the runtime."""
+        self.clock.advance(self.config.kernel_launch_s, HOST)
+        # the kernel cannot start before the host has launched it
+        self.clock.advance_to(self.clock.now(HOST), DEVICE)
+        duration = compute_time(
+            flops,
+            self.config.flops_per_s,
+            bytes_touched,
+            self.config.mem_bandwidth_bytes_per_s,
+        )
+        self.clock.advance(duration, DEVICE)
+        self.stats.inc(GPU_KERNELS)
+
+    def synchronize(self) -> None:
+        """Host waits for all pending device work (barrier)."""
+        self.clock.sync(DEVICE, HOST)
+        self.stats.inc(GPU_SYNCS)
+
+    def copy_h2d(self, nbytes: int) -> None:
+        """Pageable host-to-device copy: blocks the host for the transfer."""
+        transfer = nbytes / self.config.h2d_bandwidth_bytes_per_s
+        self.clock.advance(transfer, HOST)
+        self.clock.advance_to(self.clock.now(HOST), DEVICE)
+        self.stats.inc(GPU_H2D)
+
+    def copy_d2h(self, nbytes: int) -> None:
+        """Device-to-host copy: synchronizes, then transfers."""
+        self.synchronize()
+        transfer = nbytes / self.config.d2h_bandwidth_bytes_per_s
+        self.clock.advance(transfer, HOST)
+        self.clock.advance_to(self.clock.now(HOST), DEVICE)
+        self.stats.inc(GPU_D2H)
+
+    def copy_d2h_async(self, nbytes: int) -> float:
+        """Asynchronous D2H (prefetch path): returns the ready time."""
+        transfer = nbytes / self.config.d2h_bandwidth_bytes_per_s
+        ready = self.clock.now(DEVICE) + transfer
+        self.clock.advance_to(ready, DEVICE)
+        self.stats.inc(GPU_D2H)
+        return ready

@@ -1,0 +1,157 @@
+"""Cluster-wide BlockManager: storage memory, partition eviction, spilling.
+
+Models the aggregate storage region of all executors (paper §2.2): cached
+RDD partitions live here under a byte budget.  When the region overflows,
+LRU partitions of *other* RDDs are evicted — dropped for ``MEMORY_ONLY``
+or spilled to executor-local disk for ``MEMORY_AND_DISK``.  Dropped
+partitions of persisted RDDs are transparently recomputed from lineage on
+the next access, exactly like Spark.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.common.config import SparkConfig, StorageLevel
+from repro.common.stats import (
+    SPARK_PART_EVICTED,
+    SPARK_PART_SPILLED,
+    Stats,
+)
+from repro.backends.spark.rdd import TaskMetrics
+
+
+@dataclass
+class _CachedPartition:
+    block: np.ndarray
+    nbytes: int
+    level: StorageLevel
+    on_disk: bool = False
+
+
+class BlockManager:
+    """Unified storage region shared by all executors of the cluster."""
+
+    def __init__(self, config: SparkConfig, stats: Stats) -> None:
+        self._config = config
+        self._stats = stats
+        self._partitions: OrderedDict[tuple[int, int], _CachedPartition] = OrderedDict()
+        self._memory_used = 0
+        #: RDD id currently being materialized (its partitions are exempt
+        #: from eviction, mirroring Spark's unroll-memory protection).
+        self._computing_rdd: Optional[int] = None
+
+    @property
+    def capacity(self) -> int:
+        """Total storage memory across executors."""
+        return self._config.storage_memory * self._config.num_executors
+
+    @property
+    def memory_used(self) -> int:
+        return self._memory_used
+
+    def set_computing(self, rdd_id: Optional[int]) -> None:
+        """Protect ``rdd_id``'s partitions from eviction while it runs."""
+        self._computing_rdd = rdd_id
+
+    # -- cache operations ---------------------------------------------------
+
+    def put_partition(self, rdd_id: int, index: int, block: np.ndarray,
+                      level: StorageLevel) -> bool:
+        """Cache one partition; returns False if it could not be stored."""
+        key = (rdd_id, index)
+        if key in self._partitions:
+            self._partitions.move_to_end(key)
+            return True
+        nbytes = int(block.nbytes)
+        if level is StorageLevel.DISK_ONLY:
+            self._partitions[key] = _CachedPartition(block, nbytes, level, on_disk=True)
+            self._stats.inc(SPARK_PART_SPILLED)
+            return True
+        if not self._evict_until_fits(nbytes, protect_rdd=rdd_id):
+            if level is StorageLevel.MEMORY_AND_DISK:
+                self._partitions[key] = _CachedPartition(
+                    block, nbytes, level, on_disk=True
+                )
+                self._stats.inc(SPARK_PART_SPILLED)
+                return True
+            return False
+        self._partitions[key] = _CachedPartition(block, nbytes, level)
+        self._memory_used += nbytes
+        return True
+
+    def get_partition(self, rdd_id: int, index: int,
+                      metrics: TaskMetrics) -> Optional[np.ndarray]:
+        """Fetch a cached partition (disk reads are charged to the task)."""
+        part = self._partitions.get((rdd_id, index))
+        if part is None:
+            return None
+        if part.on_disk:
+            metrics.bytes_spilled += part.nbytes
+        self._partitions.move_to_end((rdd_id, index))
+        return part.block
+
+    def drop_rdd(self, rdd_id: int) -> int:
+        """Remove every partition of ``rdd_id`` (unpersist); returns bytes freed."""
+        freed = 0
+        for key in [k for k in self._partitions if k[0] == rdd_id]:
+            part = self._partitions.pop(key)
+            if not part.on_disk:
+                self._memory_used -= part.nbytes
+                freed += part.nbytes
+        return freed
+
+    def rdd_storage_info(self, rdd_id: int, num_partitions: int) -> dict:
+        """Spark's ``getRDDStorageInfo``: materialization status and sizes."""
+        cached = [k for k in self._partitions if k[0] == rdd_id]
+        mem_bytes = sum(
+            self._partitions[k].nbytes for k in cached
+            if not self._partitions[k].on_disk
+        )
+        disk_bytes = sum(
+            self._partitions[k].nbytes for k in cached
+            if self._partitions[k].on_disk
+        )
+        return {
+            "num_cached_partitions": len(cached),
+            "num_partitions": num_partitions,
+            "fully_cached": len(cached) >= num_partitions > 0,
+            "memory_bytes": mem_bytes,
+            "disk_bytes": disk_bytes,
+        }
+
+    def cached_rdd_ids(self) -> set[int]:
+        """Ids of all RDDs with at least one cached partition."""
+        return {k[0] for k in self._partitions}
+
+    # -- eviction ------------------------------------------------------------
+
+    def _evict_until_fits(self, nbytes: int, protect_rdd: int) -> bool:
+        """LRU-evict partitions of other RDDs until ``nbytes`` fit."""
+        if nbytes > self.capacity:
+            return False
+        while self._memory_used + nbytes > self.capacity:
+            victim_key = next(
+                (
+                    k for k, part in self._partitions.items()
+                    if not part.on_disk
+                    and k[0] != protect_rdd
+                    and k[0] != self._computing_rdd
+                ),
+                None,
+            )
+            if victim_key is None:
+                return False
+            victim = self._partitions[victim_key]
+            self._memory_used -= victim.nbytes
+            if victim.level is StorageLevel.MEMORY_AND_DISK:
+                victim.on_disk = True
+                self._stats.inc(SPARK_PART_SPILLED)
+            else:
+                del self._partitions[victim_key]
+                self._stats.inc(SPARK_PART_EVICTED)
+        return True

@@ -1,0 +1,143 @@
+"""SparkContext: driver-side entry point of the cluster simulator.
+
+Owns the BlockManager, DAGScheduler, and broadcast registry; exposes
+transformations (via :class:`RDD`), actions (``collect``, ``count``,
+``reduce``), and asynchronous job submission used by MEMPHIS's
+``prefetch`` operator.  Also tracks driver memory retained by dangling
+broadcast chunks and collected results (Fig. 2(b)).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.backends.spark.blockmanager import BlockManager
+from repro.backends.spark.broadcast import Broadcast
+from repro.backends.spark.rdd import RDD, ParallelizedRDD
+from repro.backends.spark.scheduler import DAGScheduler, JobResult
+from repro.common.config import SparkConfig
+from repro.common.simclock import CLUSTER, HOST, SimClock, SimFuture
+from repro.common.stats import SPARK_PART_RECOMPUTED, Stats
+
+
+class SparkContext:
+    """Driver process handle to the simulated cluster."""
+
+    def __init__(self, config: SparkConfig, clock: SimClock, stats: Stats) -> None:
+        self.config = config
+        self.clock = clock
+        self.stats = stats
+        self.block_manager = BlockManager(config, stats)
+        self.scheduler = DAGScheduler(self)
+        self.driver_retained_bytes = 0
+        self.shuffle_store_bytes = 0
+        #: job-scoped partition memo set by the DAGScheduler: within one
+        #: job, each (rdd, partition) is computed at most once.
+        self.job_memo = None
+        self._rdds: dict[int, RDD] = {}
+        #: parallel job lanes: concurrently submitted jobs overlap on the
+        #: cluster up to this degree (Spark runs independent jobs
+        #: concurrently when slots allow) — the source of the paper's
+        #: Base-A speedup from asynchronous operators (§5.1).
+        self._job_lanes = [0.0] * max(2, config.num_executors // 2)
+
+    # -- registry -------------------------------------------------------------
+
+    def register_rdd(self, rdd: RDD) -> None:
+        """Track an RDD for storage info queries and GC bookkeeping."""
+        self._rdds[rdd.id] = rdd
+
+    def get_rdd(self, rdd_id: int) -> Optional[RDD]:
+        return self._rdds.get(rdd_id)
+
+    def note_partition_recomputed(self) -> None:
+        self.stats.inc(SPARK_PART_RECOMPUTED)
+
+    # -- data distribution ------------------------------------------------------
+
+    def parallelize(self, matrix: np.ndarray, name: str = "parallelize") -> RDD:
+        """Distribute a local matrix as a row-block partitioned RDD."""
+        return ParallelizedRDD(self, matrix, self.config.block_size_rows, name)
+
+    def broadcast(self, value: np.ndarray) -> Broadcast:
+        """Create a torrent broadcast of a local matrix."""
+        return Broadcast(self, value)
+
+    # -- job execution ----------------------------------------------------------
+
+    def run_job(self, rdd: RDD) -> tuple[JobResult, float]:
+        """Execute a job; returns the result and its cluster end time.
+
+        The job starts when the host has submitted it and a job lane is
+        free; concurrently submitted jobs overlap up to the lane count.
+        The *host* timeline is NOT advanced here — callers decide whether
+        the action is synchronous or asynchronous.
+        """
+        result = self.scheduler.execute(rdd)
+        lane = min(range(len(self._job_lanes)),
+                   key=lambda i: self._job_lanes[i])
+        start = max(self.clock.now(HOST), self._job_lanes[lane])
+        end = start + result.duration
+        self._job_lanes[lane] = end
+        self.clock.advance_to(end, CLUSTER)
+        return result, end
+
+    # -- actions ------------------------------------------------------------------
+
+    def collect(self, rdd: RDD) -> np.ndarray:
+        """Synchronous collect: blocks the host until result transfer ends."""
+        result, end = self.run_job(rdd)
+        transfer = result.result_bytes / self.config.bandwidth_bytes_per_s
+        self.clock.advance_to(end, HOST)
+        self.clock.advance(transfer, HOST)
+        return np.vstack(result.partitions)
+
+    def collect_async(self, rdd: RDD) -> SimFuture:
+        """Asynchronous collect used by ``prefetch`` (§5.1)."""
+        result, end = self.run_job(rdd)
+        transfer = result.result_bytes / self.config.bandwidth_bytes_per_s
+        return SimFuture(
+            self.clock, end + transfer, np.vstack(result.partitions),
+            label=f"prefetch:{rdd.name}",
+        )
+
+    def count(self, rdd: RDD) -> int:
+        """Synchronous count (used to force materialization)."""
+        result, end = self.run_job(rdd)
+        self.clock.advance_to(end, HOST)
+        return sum(p.shape[0] for p in result.partitions)
+
+    def count_async(self, rdd: RDD) -> SimFuture:
+        """Asynchronous count — MEMPHIS's lazy materialization trigger."""
+        result, end = self.run_job(rdd)
+        value = sum(p.shape[0] for p in result.partitions)
+        return SimFuture(self.clock, end, value, label=f"count:{rdd.name}")
+
+    def reduce(self, rdd: RDD,
+               fn: Callable[[np.ndarray, np.ndarray], np.ndarray]) -> np.ndarray:
+        """Synchronous reduce of all partitions to the driver."""
+        result, end = self.run_job(rdd)
+        out = result.partitions[0]
+        for block in result.partitions[1:]:
+            out = fn(out, block)
+        transfer = out.nbytes / self.config.bandwidth_bytes_per_s
+        self.clock.advance_to(end, HOST)
+        self.clock.advance(transfer, HOST)
+        return out
+
+    def reduce_async(self, rdd: RDD,
+                     fn: Callable[[np.ndarray, np.ndarray], np.ndarray]) -> SimFuture:
+        """Asynchronous reduce: the job runs without blocking the host.
+
+        Used when the prefetch rewrite flags a single-block aggregate
+        action for asynchronous execution (§5.1).
+        """
+        result, end = self.run_job(rdd)
+        out = result.partitions[0]
+        for block in result.partitions[1:]:
+            out = fn(out, block)
+        transfer = out.nbytes / self.config.bandwidth_bytes_per_s
+        return SimFuture(self.clock, end + transfer, out,
+                         label=f"reduce:{rdd.name}")

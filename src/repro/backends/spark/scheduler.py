@@ -1,0 +1,158 @@
+"""DAGScheduler: stage splitting at shuffle boundaries and job execution.
+
+An action triggers :meth:`DAGScheduler.execute`, which walks the RDD
+lineage, finds every unmaterialized :class:`ShuffleDependency`, runs map
+stages in dependency order (writing shuffle files), then runs the result
+stage.  The simulated job duration follows the standard cluster model::
+
+    stage_time = task_overhead + max(longest_task, total_work / slots)
+    job_time   = job_overhead + sum(stage_times)
+
+Shuffle files persist across jobs (implicit Spark caching), so repeated
+jobs over a shared dependency skip the map side — the shuffle-file reuse
+MEMPHIS relies on for unmaterialized cached RDDs (§4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.backends.spark.rdd import RDD, ShuffleDependency, TaskMetrics
+from repro.common.stats import (
+    SPARK_JOBS,
+    SPARK_SHUFFLE_REUSE,
+    SPARK_TASKS,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.backends.spark.context import SparkContext
+
+
+@dataclass
+class JobResult:
+    """Outcome of one Spark job."""
+
+    partitions: list[np.ndarray]
+    duration: float
+    num_stages: int
+    num_tasks: int
+    result_bytes: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.result_bytes = int(sum(p.nbytes for p in self.partitions))
+
+
+class DAGScheduler:
+    """Builds and runs the stage DAG of one job."""
+
+    def __init__(self, context: "SparkContext") -> None:
+        self.context = context
+
+    def execute(self, rdd: RDD) -> JobResult:
+        """Run a job whose result stage materializes all of ``rdd``."""
+        cfg = self.context.config
+        stats = self.context.stats
+        stats.inc(SPARK_JOBS)
+        outer_memo = self.context.job_memo
+        self.context.job_memo = {}
+
+        pending = self._pending_shuffles(rdd)
+        stage_times: list[float] = []
+        total_tasks = 0
+
+        for dep in pending:
+            stage_times.append(self._run_map_stage(dep))
+            total_tasks += dep.rdd.num_partitions
+
+        # result stage
+        task_times: list[float] = []
+        partitions: list[np.ndarray] = []
+        self.context.block_manager.set_computing(rdd.id)
+        try:
+            for idx in range(rdd.num_partitions):
+                metrics = TaskMetrics()
+                partitions.append(rdd.get_partition(idx, metrics))
+                task_times.append(self._task_time(metrics))
+        finally:
+            self.context.block_manager.set_computing(None)
+        stage_times.append(self._stage_time(task_times))
+        total_tasks += rdd.num_partitions
+        stats.inc(SPARK_TASKS, total_tasks)
+        self.context.job_memo = outer_memo
+
+        duration = cfg.job_overhead_s + sum(stage_times)
+        return JobResult(partitions, duration, len(stage_times), total_tasks)
+
+    # -- internals -----------------------------------------------------------
+
+    def _pending_shuffles(self, rdd: RDD) -> list[ShuffleDependency]:
+        """Unmaterialized shuffle dependencies, parents before children."""
+        order: list[ShuffleDependency] = []
+        seen: set[int] = set()
+
+        def visit(node: RDD) -> None:
+            if node.id in seen:
+                return
+            seen.add(node.id)
+            # a fully cached persisted RDD needs no upstream computation
+            if node.is_persisted:
+                info = self.context.block_manager.rdd_storage_info(
+                    node.id, node.num_partitions
+                )
+                if info["fully_cached"]:
+                    return
+            for dep in node.deps:
+                visit(dep.rdd)
+                if isinstance(dep, ShuffleDependency):
+                    if dep.shuffle_files is None:
+                        order.append(dep)
+                    else:
+                        self.context.stats.inc(SPARK_SHUFFLE_REUSE)
+
+        visit(rdd)
+        return order
+
+    def _run_map_stage(self, dep: ShuffleDependency) -> float:
+        """Execute the map side of one shuffle and retain its files."""
+        parent = dep.rdd
+        files: list[dict[int, np.ndarray]] = []
+        task_times: list[float] = []
+        self.context.block_manager.set_computing(parent.id)
+        try:
+            for idx in range(parent.num_partitions):
+                metrics = TaskMetrics()
+                block = parent.get_partition(idx, metrics)
+                out = dep.map_side(idx, block)
+                write_bytes = sum(b.nbytes for b in out.values())
+                metrics.bytes_shuffled += write_bytes
+                metrics.flops += block.size  # map-side combine work
+                files.append(out)
+                task_times.append(self._task_time(metrics))
+        finally:
+            self.context.block_manager.set_computing(None)
+        dep.shuffle_files = files
+        dep.shuffle_bytes = sum(
+            b.nbytes for out in files for b in out.values()
+        )
+        self.context.shuffle_store_bytes += dep.shuffle_bytes
+        return self._stage_time(task_times)
+
+    def _task_time(self, metrics: TaskMetrics) -> float:
+        cfg = self.context.config
+        return (
+            cfg.task_overhead_s
+            + metrics.flops / cfg.executor_flops_per_s
+            + metrics.bytes_read / cfg.bandwidth_bytes_per_s
+            + metrics.bytes_shuffled / cfg.shuffle_bytes_per_s
+            + metrics.bytes_spilled / cfg.disk_bytes_per_s
+        )
+
+    def _stage_time(self, task_times: list[float]) -> float:
+        if not task_times:
+            return 0.0
+        cfg = self.context.config
+        slots = cfg.num_executors * cfg.cores_per_executor
+        return max(max(task_times), sum(task_times) / slots)

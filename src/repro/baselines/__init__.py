@@ -1,0 +1,20 @@
+"""Baseline system emulations (paper §6.1).
+
+The paper emulates competitor frameworks inside the same engine via
+hand-optimized scripts; this package does the same as executable
+configurations and workload branches:
+
+* Base / Base-A / LIMA / HELIX / MPH-NA / MPH-F — presets on
+  :class:`repro.common.config.MemphisConfig`;
+* CoorDL — application-level caching of the CPU input-data-pipeline
+  component (branch in :mod:`repro.workloads.hdrop`);
+* Clipper — application-level prediction memoization (branch in
+  :mod:`repro.workloads.en2de`);
+* VISTA — hand-CSE across transfer-learning layer pipelines (branch in
+  :mod:`repro.workloads.tlvis`);
+* PyTorch / PyTorch-Clr — :func:`repro.baselines.pytorch_sim.pytorch_config`.
+"""
+
+from repro.baselines.pytorch_sim import pytorch_config
+
+__all__ = ["pytorch_config"]

@@ -1,0 +1,60 @@
+"""Exception hierarchy for the MEMPHIS reproduction.
+
+Every subsystem raises a subclass of :class:`MemphisError` so callers can
+catch framework failures distinctly from programming errors.
+"""
+
+from __future__ import annotations
+
+
+class MemphisError(Exception):
+    """Base class for all framework errors."""
+
+
+class CompilationError(MemphisError):
+    """Raised when a program or DAG cannot be compiled."""
+
+
+class PlacementError(MemphisError):
+    """Raised when no backend can execute an operator."""
+
+
+class LineageError(MemphisError):
+    """Raised on malformed lineage traces or failed (de)serialization."""
+
+
+class CacheError(MemphisError):
+    """Raised on inconsistent lineage-cache state."""
+
+
+class BackendError(MemphisError):
+    """Base class for backend execution failures."""
+
+
+class SparkError(BackendError):
+    """Raised by the Spark backend simulator."""
+
+
+class GpuError(BackendError):
+    """Raised by the GPU backend simulator."""
+
+
+class GpuOutOfMemoryError(GpuError):
+    """Raised when an allocation cannot be served even after eviction."""
+
+    def __init__(self, requested: int, free: int, largest_block: int) -> None:
+        self.requested = requested
+        self.free = free
+        self.largest_block = largest_block
+        super().__init__(
+            f"GPU out of memory: requested {requested} bytes, "
+            f"{free} free, largest contiguous block {largest_block}"
+        )
+
+
+class BufferPoolError(BackendError):
+    """Raised by the CPU buffer pool."""
+
+
+class RecomputationError(LineageError):
+    """Raised when a lineage trace cannot be replayed."""

@@ -1,0 +1,100 @@
+"""Session-wide statistics registry.
+
+Mirrors SystemDS's ``-stats`` output: every subsystem increments named
+counters, and the benchmark harness reads them to report the paper's
+secondary metrics (reused/recycled pointers, evictions, Spark jobs,
+cache hits, dangling references cleaned, ...).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+
+class Stats:
+    """A hierarchical counter/accumulator registry."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, int] = defaultdict(int)
+        self._accumulators: dict[str, float] = defaultdict(float)
+
+    def inc(self, name: str, by: int = 1) -> None:
+        """Increment counter ``name`` by ``by``."""
+        self._counters[name] += by
+
+    def add_time(self, name: str, seconds: float) -> None:
+        """Accumulate ``seconds`` into timer ``name``."""
+        self._accumulators[name] += seconds
+
+    def get(self, name: str) -> int:
+        """Current value of counter ``name`` (0 if never incremented)."""
+        return self._counters[name]
+
+    def get_time(self, name: str) -> float:
+        """Accumulated seconds for timer ``name``."""
+        return self._accumulators[name]
+
+    def counters(self) -> dict[str, int]:
+        """Snapshot of all counters."""
+        return dict(self._counters)
+
+    def timers(self) -> dict[str, float]:
+        """Snapshot of all accumulated timers."""
+        return dict(self._accumulators)
+
+    def reset(self) -> None:
+        """Clear all counters and timers."""
+        self._counters.clear()
+        self._accumulators.clear()
+
+    def report(self) -> str:
+        """Human-readable multi-line report, sorted by name."""
+        lines = ["=== statistics ==="]
+        for name in sorted(self._counters):
+            lines.append(f"{name:<42s} {self._counters[name]:>12d}")
+        for name in sorted(self._accumulators):
+            lines.append(f"{name:<42s} {self._accumulators[name]:>12.6f} s")
+        return "\n".join(lines)
+
+
+# Well-known counter names (kept in one place to avoid typos).
+LINEAGE_TRACED = "lineage/items_traced"
+LINEAGE_PROBES = "cache/probes"
+CACHE_HITS = "cache/hits"
+CACHE_MISSES = "cache/misses"
+CACHE_PUTS = "cache/puts"
+CACHE_EVICTIONS = "cache/evictions"
+CACHE_DELAYED = "cache/delayed_entries"
+CACHE_SPILLS = "cache/disk_spills"
+CACHE_RESTORES = "cache/disk_restores"
+FUNC_HITS = "cache/function_hits"
+SPARK_JOBS = "spark/jobs"
+SPARK_TASKS = "spark/tasks"
+SPARK_ACTION_REUSE = "spark/actions_reused"
+SPARK_RDD_REUSE = "spark/rdds_reused"
+SPARK_RDD_PERSISTED = "spark/rdds_persisted"
+SPARK_RDD_UNPERSISTED = "spark/rdds_unpersisted"
+SPARK_GC_CLEANED = "spark/dangling_cleaned"
+SPARK_ASYNC_MATERIALIZE = "spark/async_materializations"
+SPARK_BROADCASTS = "spark/broadcasts"
+SPARK_SHUFFLE_REUSE = "spark/shuffle_files_reused"
+SPARK_PART_EVICTED = "spark/partitions_evicted"
+SPARK_PART_SPILLED = "spark/partitions_spilled"
+SPARK_PART_RECOMPUTED = "spark/partitions_recomputed"
+GPU_MALLOCS = "gpu/cuda_mallocs"
+GPU_FREES = "gpu/cuda_frees"
+GPU_KERNELS = "gpu/kernels_launched"
+GPU_RECYCLED = "gpu/pointers_recycled"
+GPU_REUSED = "gpu/pointers_reused"
+GPU_SYNCS = "gpu/synchronizations"
+GPU_D2H = "gpu/d2h_copies"
+GPU_H2D = "gpu/h2d_copies"
+GPU_EVICT_D2H = "gpu/evictions_to_host"
+GPU_DEFRAGS = "gpu/defragmentations"
+PREFETCH_ISSUED = "async/prefetch_issued"
+BROADCAST_ISSUED = "async/broadcast_issued"
+EVICT_INSTRUCTIONS = "compiler/evict_instructions"
+CHECKPOINTS_PLACED = "compiler/checkpoints_placed"
+INSTRUCTIONS_EXECUTED = "runtime/instructions_executed"
+INSTRUCTIONS_SKIPPED = "runtime/instructions_skipped"
+BUFFERPOOL_EVICTIONS = "bufferpool/evictions"

@@ -1,0 +1,14 @@
+"""Mini ML-system compiler: HOP IR, rewrites, linearization."""
+
+from repro.compiler.ir import Hop, data_hop, infer_shape, literal_hop, op_hop
+from repro.compiler.linearize import depth_first, max_parallelize
+
+__all__ = [
+    "Hop",
+    "data_hop",
+    "literal_hop",
+    "op_hop",
+    "infer_shape",
+    "depth_first",
+    "max_parallelize",
+]

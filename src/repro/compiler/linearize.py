@@ -1,0 +1,81 @@
+"""Operator linearization: depth-first and MAXPARALLELIZE (Algorithm 2).
+
+SystemDS linearizes operator DAGs depth-first.  MEMPHIS's
+``max_parallelize`` instead identifies the roots of remote operator
+chains (Spark actions / prefetch ops / GPU-to-host copies), counts the
+remote operators in each chain, and linearizes the *longest chains
+first* — longer chains allow more concurrent execution once their
+asynchronous jobs are in flight, and tight packing shortens the lifetime
+of dangling RDD references (§5.3).
+"""
+
+from __future__ import annotations
+
+from repro.compiler.ir import KIND_OP, Hop
+from repro.core.entry import BACKEND_GPU, BACKEND_SP
+
+
+def depth_first(roots: list[Hop],
+                visited: set[int] | None = None) -> list[Hop]:
+    """Classic post-order (inputs before consumers) linearization."""
+    order: list[Hop] = []
+    seen = visited if visited is not None else set()
+    for root in roots:
+        stack: list[tuple[Hop, bool]] = [(root, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if expanded:
+                if node.id not in seen:
+                    seen.add(node.id)
+                    order.append(node)
+                continue
+            if node.id in seen:
+                continue
+            stack.append((node, True))
+            for inp in reversed(node.inputs):
+                stack.append((inp, False))
+    return order
+
+
+def _chain_roots(roots: list[Hop]) -> tuple[list[Hop], list[Hop]]:
+    """Collect Spark and GPU remote-chain roots (Algorithm 2 step 1)."""
+    sp_roots: list[Hop] = []
+    gpu_roots: list[Hop] = []
+    for root in roots:
+        for hop in root.iter_dag():
+            if hop.kind != KIND_OP:
+                continue
+            if hop.prefetch and hop.placement == BACKEND_SP:
+                sp_roots.append(hop)
+            elif hop.prefetch and hop.placement == BACKEND_GPU:
+                gpu_roots.append(hop)
+    return sp_roots, gpu_roots
+
+
+def _count_backend_ops(root: Hop, backend: str) -> int:
+    """Number of ``backend`` operators in the chain rooted at ``root``."""
+    return sum(
+        1 for hop in root.iter_dag()
+        if hop.kind == KIND_OP and hop.placement == backend
+    )
+
+
+def max_parallelize(roots: list[Hop]) -> list[Hop]:
+    """Algorithm 2: linearize remote chains first, longest chain first."""
+    sp_roots, gpu_roots = _chain_roots(roots)
+    if not sp_roots and not gpu_roots:
+        return depth_first(roots)
+
+    counted: list[tuple[int, Hop]] = []
+    for hop in sp_roots:
+        counted.append((_count_backend_ops(hop, BACKEND_SP), hop))
+    for hop in gpu_roots:
+        counted.append((_count_backend_ops(hop, BACKEND_GPU), hop))
+    counted.sort(key=lambda pair: -pair[0])
+
+    visited: set[int] = set()
+    order: list[Hop] = []
+    for _, chain_root in counted:
+        order.extend(depth_first([chain_root], visited))
+    order.extend(depth_first(roots, visited))
+    return order

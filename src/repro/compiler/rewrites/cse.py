@@ -1,0 +1,87 @@
+"""Common subexpression elimination on HOP DAGs.
+
+Structurally identical hops (same opcode, attributes, and canonical
+inputs) are merged into one node before execution.  CSE removes
+*within-DAG* redundancy; cross-DAG redundancy (conditional control flow,
+function calls) is what the lineage cache handles at runtime (§2.1).
+"""
+
+from __future__ import annotations
+
+from repro.compiler.ir import KIND_DATA, KIND_LITERAL, KIND_OP, Hop
+
+
+def _canonical_key(hop: Hop, canon: dict[int, Hop]):
+    if hop.kind == KIND_LITERAL:
+        return ("lit", hop.value)
+    if hop.kind == KIND_DATA:
+        handle = hop.handle
+        return ("data", id(handle) if handle is not None else hop.id)
+    inputs = tuple(canon[h.id].id for h in hop.inputs)
+    attrs = tuple(sorted(hop.attrs.items()))
+    return ("op", hop.opcode, attrs, inputs)
+
+
+def eliminate_common_subexpressions(
+    roots: list[Hop],
+) -> tuple[list[Hop], dict[int, list]]:
+    """Merge duplicate sub-DAGs under ``roots``.
+
+    Returns the (possibly replaced) roots and a map
+    ``canonical_hop_id -> [handles]`` of extra handles whose hop was
+    merged away, so the interpreter can still bind them after execution.
+    """
+    canon: dict[int, Hop] = {}
+    by_key: dict[object, Hop] = {}
+    extra_handles: dict[int, list] = {}
+
+    def visit(hop: Hop) -> Hop:
+        if hop.id in canon:
+            return canon[hop.id]
+        for inp in hop.inputs:
+            visit(inp)
+        key = _canonical_key(hop, canon)
+        existing = by_key.get(key)
+        if existing is not None and existing is not hop:
+            canon[hop.id] = existing
+            if hop.handle is not None and existing.handle is not hop.handle:
+                extra_handles.setdefault(existing.id, []).append(hop.handle)
+            return existing
+        # rewire inputs to canonical representatives
+        if hop.kind == KIND_OP:
+            hop.inputs = [canon[h.id] for h in hop.inputs]
+        by_key[key] = hop
+        canon[hop.id] = hop
+        return hop
+
+    # iterative wrapper to avoid deep recursion on long chains
+    def visit_iterative(root: Hop) -> Hop:
+        stack: list[tuple[Hop, bool]] = [(root, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if node.id in canon:
+                continue
+            if expanded:
+                visit_once(node)
+                continue
+            stack.append((node, True))
+            for inp in node.inputs:
+                if inp.id not in canon:
+                    stack.append((inp, False))
+        return canon[root.id]
+
+    def visit_once(hop: Hop) -> None:
+        key = _canonical_key(hop, canon)
+        existing = by_key.get(key)
+        if existing is not None and existing is not hop:
+            canon[hop.id] = existing
+            if hop.handle is not None and existing.handle is not hop.handle:
+                extra_handles.setdefault(existing.id, []).append(hop.handle)
+            return
+        if hop.kind == KIND_OP:
+            hop.inputs = [canon[h.id] for h in hop.inputs]
+        by_key[key] = hop
+        canon[hop.id] = hop
+
+    new_roots = [visit_iterative(r) for r in roots]
+    return new_roots, extra_handles

@@ -1,0 +1,36 @@
+"""MEMPHIS core: hierarchical lineage cache, policies, session."""
+
+from repro.core.cache import LineageCache
+from repro.core.entry import (
+    BACKEND_CP,
+    BACKEND_GPU,
+    BACKEND_SP,
+    CacheEntry,
+    EntryStatus,
+)
+from repro.core.policies import (
+    CostSizePolicy,
+    LrcPolicy,
+    LruPolicy,
+    MrdPolicy,
+    make_policy,
+)
+from repro.core.session import LoopContext, Session
+from repro.core.spark_cache import SparkCacheManager
+
+__all__ = [
+    "LineageCache",
+    "CacheEntry",
+    "EntryStatus",
+    "BACKEND_CP",
+    "BACKEND_SP",
+    "BACKEND_GPU",
+    "CostSizePolicy",
+    "LruPolicy",
+    "LrcPolicy",
+    "MrdPolicy",
+    "make_policy",
+    "Session",
+    "LoopContext",
+    "SparkCacheManager",
+]

@@ -1,0 +1,275 @@
+"""The hierarchical multi-backend lineage cache (paper §3.3, Fig. 3).
+
+A hash map from lineage items to :class:`CacheEntry` objects whose
+payloads live in backend-local stores: in-memory matrices in the driver
+(budgeted by the driver cache size), distributed RDD handles (budgeted
+against Spark storage memory by the :class:`SparkCacheManager`), and GPU
+pointers (owned by the GPU unified memory manager, which calls back on
+recycling).  The cache implements the system-internal API of §3.1:
+``probe/reuse``, ``put``, and ``make_space``, plus delayed caching
+(§5.2).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.common.config import CacheConfig
+from repro.common.stats import (
+    CACHE_DELAYED,
+    CACHE_EVICTIONS,
+    CACHE_HITS,
+    CACHE_MISSES,
+    CACHE_PUTS,
+    CACHE_RESTORES,
+    CACHE_SPILLS,
+    LINEAGE_PROBES,
+    Stats,
+)
+from repro.core.entry import BACKEND_CP, BACKEND_GPU, BACKEND_SP, CacheEntry, EntryStatus
+from repro.core.policies import EvictionPolicy, make_policy
+from repro.lineage.item import LineageItem
+
+
+#: payload tag for driver-local entries spilled to disk.
+BACKEND_DISK = "DISK"
+
+
+class LineageCache:
+    """Unified lineage-keyed cache across CP, Spark, GPU, and local disk.
+
+    When a ``clock`` is provided, evicted driver entries whose compute
+    cost exceeds the disk round-trip cost are *spilled* to a simulated
+    local disk instead of dropped ("disk-evicted binaries", §3.3); a
+    later probe restores them, charging the read.
+    """
+
+    def __init__(self, config: CacheConfig, stats: Stats,
+                 policy: Optional[EvictionPolicy] = None,
+                 clock=None,
+                 disk_bytes_per_s: float = 1024**3,
+                 flops_per_s: float = 1.5e12) -> None:
+        self.config = config
+        self.stats = stats
+        self.policy = policy or make_policy(config.policy)
+        self.clock = clock
+        self.disk_bytes_per_s = disk_bytes_per_s
+        self.flops_per_s = flops_per_s
+        self._entries: dict[LineageItem, CacheEntry] = {}
+        self._cp_bytes = 0
+        self._disk_bytes = 0
+        self._logical_time = 0
+        #: GPU pointer id -> entry, for invalidation callbacks.
+        self._gpu_index: dict[int, CacheEntry] = {}
+        #: hook invoked when a CP payload is evicted (e.g. for disk spill).
+        self.on_cp_evict: Optional[Callable[[CacheEntry], None]] = None
+        #: per-put delay factor override (set per block by auto-tuning).
+        self.delay_factor = config.delay_factor
+
+    # -- introspection -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def cp_bytes(self) -> int:
+        """Bytes held by driver-local (CP) payloads."""
+        return self._cp_bytes
+
+    def entries(self) -> list[CacheEntry]:
+        return list(self._entries.values())
+
+    def get_entry(self, key: LineageItem) -> Optional[CacheEntry]:
+        """Raw entry lookup without hit/miss accounting."""
+        return self._entries.get(key)
+
+    # -- core API (paper §3.1) --------------------------------------------------
+
+    def probe(self, key: LineageItem) -> Optional[CacheEntry]:
+        """REUSE probe: returns the entry on a hit, ``None`` otherwise.
+
+        A hit requires a CACHED entry; placeholders (delayed caching) and
+        evicted entries count as misses but update reference metadata used
+        by the eviction policy.
+        """
+        self._logical_time += 1
+        self.stats.inc(LINEAGE_PROBES)
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.inc(CACHE_MISSES)
+            return None
+        entry.last_access = self._logical_time
+        if entry.is_cached:
+            entry.hits += 1
+            self.stats.inc(CACHE_HITS)
+            return entry
+        if entry.status is EntryStatus.SPILLED \
+                and BACKEND_DISK in entry.payloads:
+            restored = self._restore_from_disk(entry)
+            if restored:
+                entry.hits += 1
+                self.stats.inc(CACHE_HITS)
+                return entry
+        entry.misses += 1
+        self.stats.inc(CACHE_MISSES)
+        return None
+
+    def put(self, key: LineageItem, payload: object, backend: str,
+            size: int, compute_cost: float,
+            delay_factor: Optional[int] = None) -> Optional[CacheEntry]:
+        """PUT: store an instruction result under its lineage key.
+
+        With delay factor *n* > 1, the first *n - 1* puts only create or
+        bump an empty TO-BE-CACHED placeholder; the n-th put stores the
+        actual object (paper §5.2).  Returns the entry when the payload
+        was actually cached, else ``None``.
+        """
+        self._logical_time += 1
+        n = self.delay_factor if delay_factor is None else delay_factor
+        entry = self._entries.get(key)
+        if entry is None:
+            entry = CacheEntry(key, compute_cost, size)
+            self._entries[key] = entry
+        entry.seen_count += 1
+        entry.last_access = self._logical_time
+        if entry.seen_count < n:
+            self.stats.inc(CACHE_DELAYED)
+            return None
+        if backend == BACKEND_CP:
+            if not self._make_space_cp(size):
+                return None
+            self._cp_bytes += size
+        entry.put_payload(backend, payload, size, compute_cost)
+        if backend == BACKEND_GPU:
+            ptr = getattr(payload, "ptr", None)
+            if ptr is not None:
+                self._gpu_index[ptr.id] = entry
+                ptr.cached = True
+        self.stats.inc(CACHE_PUTS)
+        return entry
+
+    def make_space(self, backend: str, size: int) -> bool:
+        """MAKE_SPACE: evict until ``size`` bytes fit on ``backend``."""
+        if backend == BACKEND_CP:
+            return self._make_space_cp(size)
+        # SP space is managed by the SparkCacheManager; GPU space by the
+        # unified GPU memory manager (Algorithm 1).
+        return True
+
+    # -- eviction -----------------------------------------------------------------
+
+    def _make_space_cp(self, size: int) -> bool:
+        if self.config.unlimited:
+            return True
+        budget = self.config.driver_cache_bytes
+        if size > budget:
+            return False
+        while self._cp_bytes + size > budget:
+            victim = self._cp_victim()
+            if victim is None:
+                return False
+            self.evict_cp(victim)
+        return True
+
+    def _cp_victim(self) -> Optional[CacheEntry]:
+        candidates = [
+            e for e in self._entries.values()
+            if BACKEND_CP in e.payloads and e.is_cached
+        ]
+        if not candidates:
+            return None
+        return min(
+            candidates, key=lambda e: self.policy.score(e, self._logical_time)
+        )
+
+    def evict_cp(self, entry: CacheEntry) -> None:
+        """Evict the driver-local payload of ``entry``.
+
+        High compute-cost entries are spilled to local disk (restorable
+        by a later probe); cheap-to-recompute ones are dropped outright.
+        """
+        payload = entry.payloads.get(BACKEND_CP)
+        if payload is None:
+            return
+        if self.on_cp_evict is not None:
+            self.on_cp_evict(entry)
+        self._cp_bytes -= entry.size
+        if self._should_spill(entry):
+            self.clock.advance(entry.size / self.disk_bytes_per_s)
+            entry.payloads[BACKEND_DISK] = payload
+            entry.payloads.pop(BACKEND_CP, None)
+            entry.status = EntryStatus.SPILLED
+            self._disk_bytes += entry.size
+            self.stats.inc(CACHE_SPILLS)
+        else:
+            entry.drop_payload(BACKEND_CP)
+        self.stats.inc(CACHE_EVICTIONS)
+
+    def _should_spill(self, entry: CacheEntry) -> bool:
+        """Spill only when recomputation costs more than a disk round trip."""
+        if not self.config.spill_to_disk or self.clock is None:
+            return False
+        if self._disk_bytes + entry.size > self.config.disk_cache_bytes:
+            return False
+        recompute_time = entry.compute_cost / self.flops_per_s
+        roundtrip_time = 2.0 * entry.size / self.disk_bytes_per_s
+        return recompute_time > roundtrip_time
+
+    def _restore_from_disk(self, entry: CacheEntry) -> bool:
+        """Read a spilled payload back into the driver cache."""
+        payload = entry.payloads.get(BACKEND_DISK)
+        if payload is None:
+            return False
+        if not self._make_space_cp(entry.size):
+            return False
+        self.clock.advance(entry.size / self.disk_bytes_per_s)
+        entry.payloads[BACKEND_CP] = payload
+        entry.payloads.pop(BACKEND_DISK, None)
+        entry.status = EntryStatus.CACHED
+        self._disk_bytes -= entry.size
+        self._cp_bytes += entry.size
+        self.stats.inc(CACHE_RESTORES)
+        return True
+
+    @property
+    def disk_bytes(self) -> int:
+        """Bytes held by spilled (disk-resident) entries."""
+        return self._disk_bytes
+
+    def drop_backend_payload(self, entry: CacheEntry, backend: str) -> None:
+        """Remove one backend copy (e.g. after unpersist), keep others."""
+        if backend == BACKEND_CP and BACKEND_CP in entry.payloads:
+            self.evict_cp(entry)
+            return
+        entry.drop_payload(backend)
+        self.stats.inc(CACHE_EVICTIONS)
+
+    # -- GPU integration ---------------------------------------------------------
+
+    def on_gpu_invalidate(self, ptr) -> None:
+        """Callback from the GPU memory manager before a pointer is
+        recycled/freed: the entry backed by it loses its GPU payload."""
+        ptr.cached = False
+        entry = self._gpu_index.pop(ptr.id, None)
+        if entry is not None:
+            entry.drop_payload(BACKEND_GPU)
+            self.stats.inc(CACHE_EVICTIONS)
+
+    # -- maintenance ---------------------------------------------------------------
+
+    def remove(self, key: LineageItem) -> None:
+        entry = self._entries.pop(key, None)
+        if entry is not None and BACKEND_CP in entry.payloads:
+            self._cp_bytes -= entry.size
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._gpu_index.clear()
+        self._cp_bytes = 0
+
+    def cached_count(self, backend: Optional[str] = None) -> int:
+        """Number of CACHED entries, optionally restricted to a backend."""
+        return sum(
+            1 for e in self._entries.values()
+            if e.is_cached and (backend is None or backend in e.payloads)
+        )

@@ -1,0 +1,618 @@
+"""The MEMPHIS session: public entry point of the library.
+
+A :class:`Session` owns the three backends, the hierarchical lineage
+cache, and the compiler; it exposes the handle API (``read``, ``rand``,
+arithmetic on :class:`MatrixHandle`), multi-level (function) reuse, loop
+and block contexts that drive the program-level rewrites of §5.2, and
+the lineage APIs ``serialize``/``recompute`` of §3.1.
+
+Typical use::
+
+    from repro import Session, MemphisConfig
+
+    sess = Session(MemphisConfig.memphis())
+    X = sess.read(features, "X")
+    y = sess.read(labels, "y")
+    A = X.t() @ X
+    b = (y.t() @ X).t()
+    beta = sess.solve(A + 0.1 * sess.eye(X.ncol), b)
+    print(beta.compute())
+"""
+
+from __future__ import annotations
+
+import contextlib
+import weakref
+from typing import Callable, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.backends.cpu.backend import CpuBackend
+from repro.backends.gpu.backend import GpuBackend, GpuData
+from repro.backends.gpu.memmanager import MODE_MALLOC, MODE_MEMPHIS, MODE_POOL
+from repro.backends.spark.backend import SparkBackend
+from repro.backends.spark.context import SparkContext
+from repro.common.config import MemphisConfig, ReuseMode
+from repro.common.errors import RecomputationError
+from repro.common.simclock import HOST, SimClock
+from repro.common.stats import (
+    EVICT_INSTRUCTIONS,
+    FUNC_HITS,
+    Stats,
+)
+from repro.compiler.ir import (
+    KIND_OP,
+    Hop,
+    data_hop,
+    literal_hop,
+    op_hop,
+)
+from repro.compiler.linearize import depth_first, max_parallelize
+from repro.compiler.rewrites.async_ops import (
+    consumers_map,
+    place_broadcast,
+    place_prefetch,
+)
+from repro.compiler.rewrites.checkpoint import (
+    place_shared_checkpoints,
+    should_checkpoint_loop_var,
+)
+from repro.compiler.rewrites.cse import eliminate_common_subexpressions
+from repro.compiler.rewrites.tuning import ProgramBlock, tune_block
+from repro.core.cache import LineageCache
+from repro.core.entry import BACKEND_CP, BACKEND_GPU, BACKEND_SP
+from repro.core.spark_cache import SparkCacheManager
+from repro.lineage.item import LineageItem, function_item, literal
+from repro.lineage.serialize import deserialize, serialize
+from repro.runtime.handles import MatrixHandle
+from repro.runtime.interpreter import Interpreter, Slot
+from repro.runtime.placement import assign_placements, matmul_pattern
+from repro.runtime.values import MatrixValue, ScalarValue, Value
+
+
+class Session:
+    """One MEMPHIS execution context (driver + backends + cache)."""
+
+    def __init__(self, config: Optional[MemphisConfig] = None) -> None:
+        self.config = config or MemphisConfig.memphis()
+        self.clock = SimClock()
+        self.stats = Stats()
+        self.cache = LineageCache(
+            self.config.cache, self.stats, clock=self.clock,
+            disk_bytes_per_s=self.config.cpu.disk_bytes_per_s,
+            flops_per_s=self.config.cpu.flops_per_s,
+        )
+        self.cpu = CpuBackend(self.config.cpu, self.clock, self.stats)
+        self.spark_context = SparkContext(
+            self.config.spark, self.clock, self.stats
+        )
+        self.spark = SparkBackend(self.spark_context)
+        self.spark_mgr = SparkCacheManager(
+            self.cache, self.spark_context, self.config.cache, self.stats
+        )
+        self.gpu = GpuBackend(
+            self.config.gpu, self.clock, self.stats,
+            mode=self._gpu_mode(),
+        )
+        self.gpu.memory.on_invalidate = self.cache.on_gpu_invalidate
+        self.interpreter = Interpreter(self)
+        self.delay_factor = self.config.cache.delay_factor
+        self._seed_counter = 10_000_000
+        self._last_loop_name: Optional[str] = None
+
+    def _gpu_mode(self) -> str:
+        if self.config.gpu_memory_mode is not None:
+            return self.config.gpu_memory_mode
+        if self.config.reuse_mode in (ReuseMode.FULL, ReuseMode.OPERATOR_ONLY):
+            return MODE_MEMPHIS
+        # SystemDS's baseline GPU backend already maintains free-list
+        # pools; MODE_MALLOC (cudaMalloc/cudaFree per operation) is only
+        # used by the forced-allocation micro-benchmark of Fig. 2(d)
+        return MODE_POOL
+
+    # ------------------------------------------------------------- constructors
+
+    def read(self, data: Union[np.ndarray, float, int],
+             name: Optional[str] = None) -> MatrixHandle:
+        """Bind an input dataset (or scalar) as an evaluated handle."""
+        if isinstance(data, (float, int)):
+            value: Value = ScalarValue(float(data))
+        else:
+            value = MatrixValue(np.asarray(data, dtype=np.float64))
+        handle = MatrixHandle(self, literal_hop(0.0), name=name)
+        handle.hop = data_hop(handle, value.shape)
+        handle.lineage = (
+            LineageItem("data", (name,)) if name else
+            LineageItem("data", (f"anon_{handle.hop.id}",))
+        )
+        handle.payloads = {BACKEND_CP: value}
+        handle.hop.bundle = (handle.lineage, handle.payloads)
+        return handle
+
+    def scalar(self, value: float) -> MatrixHandle:
+        """A literal scalar handle."""
+        return MatrixHandle(self, literal_hop(float(value)))
+
+    def rand(self, rows: int, cols: int, min: float = 0.0, max: float = 1.0,
+             sparsity: float = 1.0, pdf: str = "uniform",
+             seed: Optional[int] = None) -> MatrixHandle:
+        """Random matrix; a fixed ``seed`` makes the result reusable.
+
+        Without a seed, a fresh unique seed is drawn (the lineage then
+        never matches, i.e. the operation is treated as non-deterministic,
+        matching SystemDS's handling of unseeded ``rand``).
+        """
+        if seed is None:
+            self._seed_counter += 1
+            seed = self._seed_counter
+        return MatrixHandle(self, op_hop("rand", [], {
+            "rows": rows, "cols": cols, "min": min, "max": max,
+            "sparsity": sparsity, "pdf": pdf, "seed": int(seed),
+        }))
+
+    def seq(self, start: float, stop: float, step: float = 1.0) -> MatrixHandle:
+        """Column vector ``start, start+step, ..., <= stop``."""
+        return MatrixHandle(self, op_hop("seq", [], {
+            "from": start, "to": stop, "incr": step,
+        }))
+
+    def fill(self, rows: int, cols: int, value: float) -> MatrixHandle:
+        """Constant matrix (via rand with min == max)."""
+        return self.rand(rows, cols, min=value, max=value, seed=0)
+
+    def eye(self, n: int) -> MatrixHandle:
+        """Identity matrix."""
+        return self.diag(self.fill(n, 1, 1.0))
+
+    def diag(self, handle: MatrixHandle) -> MatrixHandle:
+        return MatrixHandle(self, op_hop("diag", [handle.hop]))
+
+    # ------------------------------------------------------------------ operators
+
+    def solve(self, a: MatrixHandle, b: MatrixHandle) -> MatrixHandle:
+        """Solve the linear system ``A x = b``."""
+        return MatrixHandle(self, op_hop("solve", [a.hop, b.hop]))
+
+    def cbind(self, *handles: MatrixHandle) -> MatrixHandle:
+        return MatrixHandle(
+            self, op_hop("cbind", [h.hop for h in handles])
+        )
+
+    def rbind(self, *handles: MatrixHandle) -> MatrixHandle:
+        return MatrixHandle(
+            self, op_hop("rbind", [h.hop for h in handles])
+        )
+
+    def table(self, rows: MatrixHandle, cols: MatrixHandle,
+              nrow: int, ncol: int) -> MatrixHandle:
+        """Contingency table (used for one-hot encoding)."""
+        return MatrixHandle(self, op_hop(
+            "table", [rows.hop, cols.hop], {"rows": nrow, "cols": ncol}
+        ))
+
+    def order(self, handle: MatrixHandle, by: int = 1,
+              decreasing: bool = False) -> MatrixHandle:
+        return MatrixHandle(self, op_hop(
+            "order", [handle.hop], {"by": by, "decreasing": decreasing}
+        ))
+
+    def conv2d(self, images: MatrixHandle, filters: MatrixHandle,
+               shape: dict) -> MatrixHandle:
+        """2-D convolution over linearized NCHW matrices.
+
+        ``shape`` holds N/C/H/W/K/R/S plus optional stride and pad.
+        """
+        return MatrixHandle(self, op_hop(
+            "conv2d", [images.hop, filters.hop], dict(shape)
+        ))
+
+    def maxpool(self, images: MatrixHandle, shape: dict) -> MatrixHandle:
+        """Max pooling over linearized NCHW matrices."""
+        return MatrixHandle(self, op_hop("maxpool", [images.hop], dict(shape)))
+
+    def bias_add(self, x: MatrixHandle, bias: MatrixHandle) -> MatrixHandle:
+        return MatrixHandle(self, op_hop("bias_add", [x.hop, bias.hop]))
+
+    def reshape(self, x: MatrixHandle, rows: int, cols: int) -> MatrixHandle:
+        return MatrixHandle(self, op_hop(
+            "reshape", [x.hop], {"rows": rows, "cols": cols}
+        ))
+
+    def recode(self, x: MatrixHandle) -> MatrixHandle:
+        """Dictionary-encode categorical columns to dense 1-based codes."""
+        return MatrixHandle(self, op_hop("recode", [x.hop]))
+
+    def bin(self, x: MatrixHandle, num_bins: int = 10) -> MatrixHandle:
+        """Equi-width binning of numerical columns."""
+        return MatrixHandle(self, op_hop("bin", [x.hop],
+                                         {"num_bins": num_bins}))
+
+    def quantile(self, x: MatrixHandle, p: float) -> MatrixHandle:
+        """Column-wise quantile at probability ``p``."""
+        return MatrixHandle(self, op_hop("quantile", [x.hop], {"p": p}))
+
+    # ------------------------------------------------------------------ evaluation
+
+    def evaluate(self, handles: Sequence[MatrixHandle]) -> None:
+        """Compile and execute the DAGs of ``handles`` (one basic block)."""
+        roots = [h for h in handles if h.hop.kind == KIND_OP]
+        if not roots:
+            return
+        root_hops = [h.hop for h in roots]
+        extra: dict[int, list] = {}
+        if self.config.enable_cse:
+            root_hops, extra = eliminate_common_subexpressions(root_hops)
+            for handle, hop in zip(roots, root_hops):
+                handle.hop = hop
+        assign_placements(root_hops, self.config)
+        self._mark_fused_transposes(root_hops)
+        place_shared_checkpoints(root_hops, self.config)
+        place_prefetch(root_hops, self.config)
+        place_broadcast(root_hops, self.config)
+        if self.config.enable_max_parallelize:
+            order = max_parallelize(root_hops)
+        else:
+            order = depth_first(root_hops)
+        env = self.interpreter.run(order)
+        for hop in order:
+            if hop.kind != KIND_OP:
+                continue
+            slot = env[hop.id]
+            if slot.fused_from is not None:
+                continue
+            handle = hop.handle
+            if handle is None and not extra.get(hop.id):
+                continue
+            if slot.future is not None and BACKEND_CP not in slot.payloads:
+                # an asynchronous action whose value escapes this block:
+                # resolve the future so the handle carries the prefetched
+                # driver copy (and the cache its action-reuse entry)
+                self.interpreter._to_cp(slot)
+            if handle is not None:
+                self._rebind(handle, slot)
+            for extra_handle in extra.get(hop.id, ()):  # CSE-merged handles
+                self._rebind(extra_handle, slot)
+        self.interpreter.release_acquired()
+
+    def compute(self, handle: MatrixHandle) -> np.ndarray:
+        """Force evaluation and return the driver-side numpy result."""
+        if handle.hop.kind == KIND_OP:
+            self.evaluate([handle])
+        if BACKEND_CP not in handle.payloads and handle.lineage is not None:
+            entry = (
+                self.cache.probe(handle.lineage)
+                if self.interpreter._probe_enabled(self.config.reuse_mode)
+                else self.cache.get_entry(handle.lineage)
+            )
+            if entry is not None and BACKEND_CP in entry.payloads:
+                handle.payloads[BACKEND_CP] = entry.payloads[BACKEND_CP]
+        if BACKEND_CP not in handle.payloads:
+            slot = Slot(handle.lineage)
+            slot.payloads = handle.payloads
+            value = self.interpreter._to_cp(slot)
+            handle.payloads[BACKEND_CP] = value
+        value = handle.payloads[BACKEND_CP]
+        if isinstance(value, ScalarValue):
+            return np.full((1, 1), value.as_float())
+        return value.data
+
+    def _rebind(self, handle: MatrixHandle, slot: Slot) -> None:
+        new_gpu: Optional[GpuData] = slot.payloads.get(BACKEND_GPU)
+        handle.bind(slot.lineage, slot.payloads)
+        if new_gpu is not None and not new_gpu.ptr.freed:
+            self.gpu.memory.retain(new_gpu.ptr)
+            self._attach_gpu_finalizer(handle.hop, new_gpu.ptr)
+
+    def _attach_gpu_finalizer(self, hop, ptr) -> None:
+        """Release the GPU reference when the data hop becomes garbage.
+
+        Payload lifetime follows the hop (one-way references, no cycles),
+        so CPython's reference counting releases pointers promptly when
+        the last handle or consumer DAG drops them.
+        """
+        hop.finalizer = weakref.finalize(
+            hop, _release_ptr, self.gpu.memory, ptr
+        )
+
+    def _mark_fused_transposes(self, roots: list[Hop]) -> None:
+        """Fuse ``r'`` feeding tsmm/cpmm physical operators (skip exec)."""
+        consumers = consumers_map(roots)
+        for root in roots:
+            for hop in root.iter_dag():
+                if hop.kind != KIND_OP or hop.opcode != "ba+*":
+                    continue
+                if hop.placement != BACKEND_SP:
+                    continue
+                pattern = matmul_pattern(hop, self.config)
+                if pattern not in ("tsmm", "cpmm"):
+                    continue
+                t_hop = hop.inputs[0]
+                if t_hop.opcode == "r'" and len(
+                        consumers.get(t_hop.id, ())) == 1:
+                    t_hop.fused = True
+
+    # --------------------------------------------------------- multi-level reuse
+
+    def function(self, name: Optional[str] = None,
+                 deterministic: bool = True) -> Callable:
+        """Decorator enabling function-level (coarse-grained) reuse (§3.3).
+
+        The wrapped function's outputs are cached under a special lineage
+        item of the function name and input lineages; a repeated call with
+        identical inputs skips the body entirely, even when inputs and
+        outputs span multiple backends.
+        """
+
+        def decorate(fn: Callable) -> Callable:
+            fname = name or fn.__name__
+
+            def wrapper(*args):
+                if not deterministic or self.config.reuse_mode not in (
+                    ReuseMode.FULL, ReuseMode.COARSE_ONLY
+                ):
+                    return fn(*args)
+                key = self._function_key(fname, args)
+                entry = self.cache.probe(key)
+                if entry is not None:
+                    outputs = self._restore_function_outputs(entry)
+                    if outputs is not None:
+                        self.stats.inc(FUNC_HITS)
+                        return outputs
+                t0 = self.clock.now(HOST)
+                result = fn(*args)
+                self._cache_function_outputs(key, result, t0)
+                return result
+
+            wrapper.__name__ = fn.__name__
+            wrapper.__doc__ = fn.__doc__
+            return wrapper
+
+        return decorate
+
+    def _function_key(self, fname: str, args: tuple) -> LineageItem:
+        items = []
+        for arg in args:
+            if isinstance(arg, MatrixHandle):
+                if arg.lineage is None:
+                    self.evaluate([arg])
+                items.append(arg.lineage)
+            else:
+                items.append(literal(arg))
+        return function_item(fname, tuple(items))
+
+    def _cache_function_outputs(self, key: LineageItem, result,
+                                t0: float) -> None:
+        outputs = result if isinstance(result, tuple) else (result,)
+        handles = [o for o in outputs if isinstance(o, MatrixHandle)]
+        pending = [h for h in handles if h.hop.kind == KIND_OP]
+        if pending:
+            self.evaluate(pending)
+        snapshot = []
+        for out in outputs:
+            if isinstance(out, MatrixHandle):
+                snapshot.append(
+                    ("handle", out.lineage, dict(out.payloads), out.shape)
+                )
+            else:
+                snapshot.append(("value", out))
+        elapsed = self.clock.now(HOST) - t0
+        cost = max(elapsed * self.config.cpu.flops_per_s, 1.0)
+        size = sum(
+            payloads.get(BACKEND_CP).nbytes
+            for kind, *rest in snapshot
+            if kind == "handle"
+            for payloads in [rest[1]]
+            if payloads.get(BACKEND_CP) is not None
+        )
+        self.cache.put(key, (snapshot, isinstance(result, tuple)),
+                       BACKEND_CP, max(size, 8), cost, delay_factor=1)
+
+    def _restore_function_outputs(self, entry):
+        payload = entry.get_payload(BACKEND_CP)
+        if payload is None:
+            return None
+        snapshot, was_tuple = payload
+        outputs = []
+        for record in snapshot:
+            if record[0] == "value":
+                outputs.append(record[1])
+                continue
+            _, lineage, payloads, shape = record
+            payloads = dict(payloads)
+            gpu_payload = payloads.get(BACKEND_GPU)
+            if gpu_payload is not None and gpu_payload.ptr.freed:
+                payloads.pop(BACKEND_GPU)
+            if not payloads:
+                return None  # all copies lost: treat as a miss
+            handle = MatrixHandle(self, literal_hop(0.0))
+            handle.hop = data_hop(handle, shape)
+            gpu_payload = payloads.get(BACKEND_GPU)
+            handle.bind(lineage, payloads)
+            if gpu_payload is not None:
+                self.gpu.memory.reuse_from_free(gpu_payload.ptr)
+                self._attach_gpu_finalizer(handle.hop, gpu_payload.ptr)
+            outputs.append(handle)
+        return tuple(outputs) if was_tuple else outputs[0]
+
+    # -------------------------------------------------------------- program hooks
+
+    @contextlib.contextmanager
+    def loop(self, name: str):
+        """Loop context driving the program-level rewrites of §5.2.
+
+        Entering a loop whose allocation pattern differs from the
+        previous loop injects an ``evict`` instruction (eviction
+        injection); calling ``ctx.update(var=handle)`` applies the
+        loop-variable checkpoint rewrite to distributed updates.
+        """
+        self._enter_loop(name)
+        ctx = LoopContext(self)
+        try:
+            yield ctx
+        finally:
+            ctx.finish()
+
+    def _enter_loop(self, name: str) -> None:
+        if (
+            self.config.enable_eviction_injection
+            and self._last_loop_name is not None
+            and self._last_loop_name != name
+            and self.gpu.memory.free_bytes_pooled > 0
+        ):
+            self.evict_gpu(100.0)
+        self._last_loop_name = name
+
+    def evict_gpu(self, percent: float = 100.0) -> int:
+        """The ``evict`` instruction (§5.2): clean up GPU free pools."""
+        self.stats.inc(EVICT_INSTRUCTIONS)
+        return self.gpu.memory.empty_cache(percent / 100.0)
+
+    @contextlib.contextmanager
+    def block(self, name: str, execution_frequency: int = 1,
+              reusable_fraction: float = 1.0):
+        """Basic-block context applying automatic parameter tuning (§5.2).
+
+        Sets the delay factor and Spark storage level for puts issued
+        inside the block, from the block's execution frequency and the
+        fraction of its operations that are loop-independent (reusable).
+        """
+        old_delay = self.delay_factor
+        old_level = self.spark_mgr.storage_level
+        if self.config.enable_auto_tuning and self.config.enable_delayed_caching:
+            block = ProgramBlock(
+                name,
+                execution_frequency=execution_frequency,
+                num_ops=100,
+                num_loop_dependent_ops=int(
+                    round((1.0 - reusable_fraction) * 100)
+                ),
+            )
+            tuning = tune_block(block)
+            self.delay_factor = tuning.delay_factor
+            self.spark_mgr.storage_level = tuning.storage_level
+        try:
+            yield
+        finally:
+            self.delay_factor = old_delay
+            self.spark_mgr.storage_level = old_level
+
+    def checkpoint(self, handle: MatrixHandle) -> MatrixHandle:
+        """Explicitly persist a (distributed) handle's RDD."""
+        if handle.hop.kind == KIND_OP:
+            self.evaluate([handle])
+        dm = handle.payloads.get(BACKEND_SP)
+        if dm is not None:
+            self.stats.inc("compiler/checkpoints_placed")
+            if not dm.rdd.is_persisted:
+                dm.rdd.persist(self.spark_mgr.storage_level)
+        return handle
+
+    # ------------------------------------------------------------------ lineage API
+
+    def lineage_of(self, handle: MatrixHandle) -> Optional[LineageItem]:
+        """The lineage item of an evaluated handle (TRACE output)."""
+        if handle.lineage is None and handle.hop.kind == KIND_OP:
+            self.evaluate([handle])
+        return handle.lineage
+
+    def serialize_lineage(self, handle: MatrixHandle) -> str:
+        """SERIALIZE: textual lineage log of a handle's trace (§3.1)."""
+        item = self.lineage_of(handle)
+        if item is None:
+            raise RecomputationError("handle has no lineage to serialize")
+        return serialize(item)
+
+    def recompute(self, log: str,
+                  inputs: Optional[dict[str, np.ndarray]] = None) -> np.ndarray:
+        """RECOMPUTE: replay a serialized lineage log (§3.2).
+
+        Rebuilds an expression DAG from the log and runs it through the
+        full compilation chain, so the execution environment may differ
+        from the one that produced the trace.  ``inputs`` supplies the
+        named datasets referenced by ``data`` leaves.
+        """
+        root_item = deserialize(log)
+        inputs = inputs or {}
+        hops: dict[int, Hop] = {}
+        anchors: list[MatrixHandle] = []
+
+        def build(item: LineageItem) -> Hop:
+            if item.id in hops:
+                return hops[item.id]
+            if item.opcode == "lit":
+                hop = literal_hop(item.data[0])
+            elif item.opcode == "data":
+                dataset_name = str(item.data[0])
+                if dataset_name not in inputs:
+                    raise RecomputationError(
+                        f"recompute needs input dataset {dataset_name!r}"
+                    )
+                handle = self.read(inputs[dataset_name], dataset_name)
+                anchors.append(handle)
+                hop = handle.hop
+            else:
+                child_hops = [build(child) for child in item.inputs]
+                attrs = _attrs_from_data(item.data)
+                hop = op_hop(item.opcode, child_hops, attrs)
+            hops[item.id] = hop
+            return hop
+
+        root = build(root_item)
+        handle = MatrixHandle(self, root)
+        return self.compute(handle)
+
+    # ------------------------------------------------------------------ reporting
+
+    def elapsed(self) -> float:
+        """Simulated end-to-end time (host timeline)."""
+        return self.clock.now(HOST)
+
+    def report(self) -> str:
+        """Statistics report (SystemDS ``-stats`` style)."""
+        return self.stats.report()
+
+
+class LoopContext:
+    """Runtime handle for one loop (checkpoint rewrite 2, §5.2)."""
+
+    def __init__(self, session: Session) -> None:
+        self.session = session
+        self._previous: dict[str, MatrixHandle] = {}
+
+    def update(self, **handles: MatrixHandle) -> None:
+        """Declare loop-updated variables for the current iteration.
+
+        Distributed updates are checkpointed (persist) so the next
+        iteration's jobs do not lazily re-execute all previous iterations
+        (Fig. 9(c)); the previous iteration's checkpoint of the same
+        variable is unpersisted once superseded.
+        """
+        for name, handle in handles.items():
+            if not should_checkpoint_loop_var(handle.shape,
+                                              self.session.config):
+                continue
+            self.session.checkpoint(handle)
+            prev = self._previous.get(name)
+            if prev is not None and prev is not handle:
+                dm = prev.payloads.get(BACKEND_SP)
+                if dm is not None and dm.rdd.is_persisted:
+                    dm.rdd.unpersist()
+            self._previous[name] = handle
+
+    def finish(self) -> None:
+        """Loop exited; retained checkpoints stay for downstream reuse."""
+        self._previous.clear()
+
+
+def _release_ptr(memory, ptr) -> None:
+    """weakref.finalize target: release a GPU pointer on handle GC."""
+    if not ptr.freed:
+        memory.release(ptr)
+
+
+def _attrs_from_data(data: tuple) -> dict:
+    """Rebuild an attribute dict from a flattened lineage data tuple."""
+    attrs = {}
+    for i in range(0, len(data) - 1, 2):
+        attrs[str(data[i])] = data[i + 1]
+    return attrs

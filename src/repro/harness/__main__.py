@@ -1,0 +1,69 @@
+"""Command-line entry point: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro.harness                 # run everything
+    python -m repro.harness hcv pnmf        # run selected experiments
+    python -m repro.harness --list          # list experiment names
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.harness import runner
+
+EXPERIMENTS = {
+    "fig2c": runner.run_experiment_fig2c,
+    "fig2d": runner.run_experiment_fig2d,
+    "fig11a": runner.run_experiment_fig11a,
+    "fig11b": runner.run_experiment_fig11b,
+    "fig12a": runner.run_experiment_fig12a,
+    "fig12b": runner.run_experiment_fig12b,
+    "hcv": runner.run_experiment_hcv,
+    "pnmf": runner.run_experiment_pnmf,
+    "hband": runner.run_experiment_hband,
+    "clean": runner.run_experiment_clean,
+    "hdrop": runner.run_experiment_hdrop,
+    "en2de": runner.run_experiment_en2de,
+    "tlvis": runner.run_experiment_tlvis,
+    "table2": runner.run_experiment_table2,
+    "ablation-policies": runner.run_ablation_policies,
+    "ablation-ordering": runner.run_ablation_ordering,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness",
+        description="Regenerate the MEMPHIS paper's tables and figures.",
+    )
+    parser.add_argument("experiments", nargs="*",
+                        help="experiment names (default: all)")
+    parser.add_argument("--list", action="store_true",
+                        help="list available experiments and exit")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+
+    selected = args.experiments or list(EXPERIMENTS)
+    unknown = [name for name in selected if name not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiments: {', '.join(unknown)} "
+                     f"(see --list)")
+
+    for name in selected:
+        start = time.time()
+        result = EXPERIMENTS[name]()
+        print(result.table)
+        print(f"[{name}: regenerated in {time.time() - start:.1f}s wall]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

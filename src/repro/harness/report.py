@@ -1,0 +1,84 @@
+"""Tabular reporting for experiment results (paper-style rows/series)."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.workloads.base import WorkloadResult
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: Optional[str] = None) -> str:
+    """Plain-text table with aligned columns."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(f"== {title} ==")
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000 or abs(cell) < 0.001:
+            return f"{cell:.3e}"
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def speedup_series(results: dict[str, WorkloadResult],
+                   baseline: str = "Base") -> dict[str, float]:
+    """system -> speedup over ``baseline`` (from simulated time)."""
+    base = results[baseline].elapsed
+    return {
+        system: base / max(r.elapsed, 1e-12)
+        for system, r in results.items()
+    }
+
+
+def results_table(results_by_x: dict[object, dict[str, WorkloadResult]],
+                  x_label: str, title: str,
+                  extra_counters: Sequence[str] = ()) -> str:
+    """Paper-figure-style table: one row per x value, one column per system.
+
+    Cells are simulated execution times in milliseconds; failed runs show
+    the failure.  ``extra_counters`` appends per-system counter columns
+    for the MPH run (reused RDDs, recycled pointers, ...).
+    """
+    systems = list(next(iter(results_by_x.values())).keys())
+    headers = [x_label] + [f"{s} [ms]" for s in systems] + list(extra_counters)
+    rows = []
+    for x, by_system in results_by_x.items():
+        row: list[object] = [x]
+        for system in systems:
+            result = by_system[system]
+            if result.failed:
+                row.append("OOM")
+            else:
+                row.append(result.elapsed * 1000)
+        mph = by_system.get("MPH") or next(iter(by_system.values()))
+        for counter in extra_counters:
+            row.append(mph.counter(counter))
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def check_metrics_agree(results: dict[str, WorkloadResult],
+                        rel_tol: float = 1e-6) -> bool:
+    """Verify that reuse never changed workload results across systems."""
+    metrics = [r.metric for r in results.values()
+               if r.metric is not None and not r.failed]
+    if len(metrics) < 2:
+        return True
+    first = metrics[0]
+    scale = max(abs(first), 1e-12)
+    return all(abs(m - first) / scale < rel_tol for m in metrics)

@@ -1,0 +1,158 @@
+"""Lineage items: nodes of the fine-grained lineage DAG (paper §3.2).
+
+A lineage item records the opcode, literal data items, and pointers to the
+input lineage items of one executed instruction.  Because all primitives
+are deterministic given their lineage (random seeds are data items), a
+lineage DAG *uniquely identifies* an intermediate — the core property that
+makes lineage keys safe cache keys.
+
+Hashing and equality follow the paper exactly:
+
+* the hash combines the opcode, the data items, and the *hashes* of the
+  inputs (computed once, bottom-up, and memoized);
+* equality uses a non-recursive, queue-based traversal with sub-DAG
+  memoization and early-abort on hash mismatch, height difference, and
+  shared sub-DAGs (object identity).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Optional
+
+_ids = itertools.count(1)
+
+#: opcode used for leaf items that name an input dataset.
+OP_DATA = "data"
+#: opcode used for scalar / string literals.
+OP_LITERAL = "lit"
+#: opcode prefix for function-level (coarse-grained) lineage items (§3.3).
+OP_FUNCTION = "func"
+
+
+class LineageItem:
+    """One node of a lineage DAG.
+
+    Parameters
+    ----------
+    opcode:
+        The instruction opcode (e.g. ``ba+*``), or :data:`OP_DATA` /
+        :data:`OP_LITERAL` for leaves.
+    data:
+        Tuple of literal data items (scalar constants, seeds, dataset
+        identifiers) that parameterize the operation.
+    inputs:
+        Input lineage items, in argument order.
+    """
+
+    __slots__ = ("id", "opcode", "data", "inputs", "height", "_hash")
+
+    def __init__(self, opcode: str, data: tuple = (),
+                 inputs: tuple["LineageItem", ...] = ()) -> None:
+        self.id: int = next(_ids)
+        self.opcode = opcode
+        self.data = tuple(data)
+        self.inputs = tuple(inputs)
+        self.height: int = (
+            1 + max((inp.height for inp in self.inputs), default=-1)
+        )
+        self._hash: int = hash(
+            (self.opcode, self.data, tuple(inp._hash for inp in self.inputs))
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, LineageItem):
+            return NotImplemented
+        return dags_equal(self, other)
+
+    def __repr__(self) -> str:
+        data = ",".join(map(str, self.data))
+        return (
+            f"LineageItem#{self.id}({self.opcode}"
+            f"{'[' + data + ']' if data else ''}, h={self.height})"
+        )
+
+    @property
+    def is_leaf(self) -> bool:
+        """Whether this item has no inputs (dataset or literal)."""
+        return not self.inputs
+
+    @property
+    def is_function(self) -> bool:
+        """Whether this is a coarse-grained (function-level) item."""
+        return self.opcode.startswith(OP_FUNCTION)
+
+    def iter_dag(self) -> Iterable["LineageItem"]:
+        """Yield every node of the DAG reachable from this item once."""
+        seen: set[int] = set()
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            yield node
+            stack.extend(node.inputs)
+
+    def dag_size(self) -> int:
+        """Number of distinct nodes in this item's DAG."""
+        return sum(1 for _ in self.iter_dag())
+
+
+def literal(value: object) -> LineageItem:
+    """Lineage leaf for a scalar/string literal."""
+    return LineageItem(OP_LITERAL, (value,))
+
+
+def dataset(name: str) -> LineageItem:
+    """Lineage leaf for a named input dataset."""
+    return LineageItem(OP_DATA, (name,))
+
+
+def function_item(fname: str, inputs: tuple[LineageItem, ...],
+                  output_index: int = 0) -> LineageItem:
+    """Coarse-grained item for one output of a deterministic function.
+
+    The paper uses a special lineage item containing the function name and
+    the inputs for each function output (§3.3, multi-level reuse).
+    """
+    return LineageItem(f"{OP_FUNCTION}:{fname}", (output_index,), inputs)
+
+
+def dags_equal(a: LineageItem, b: LineageItem,
+               memo: Optional[set[tuple[int, int]]] = None) -> bool:
+    """Non-recursive DAG equality with memoization and early aborts.
+
+    Early-abort conditions (paper §3.2): hash mismatch, height difference,
+    and shared sub-DAGs (object identity short-circuits a subtree).
+    """
+    if a is b:
+        return True
+    if a._hash != b._hash or a.height != b.height:
+        return False
+    if memo is None:
+        memo = set()
+    queue: list[tuple[LineageItem, LineageItem]] = [(a, b)]
+    while queue:
+        x, y = queue.pop()
+        if x is y:
+            continue
+        key = (id(x), id(y)) if id(x) < id(y) else (id(y), id(x))
+        if key in memo:
+            continue
+        if (
+            x._hash != y._hash
+            or x.height != y.height
+            or x.opcode != y.opcode
+            or x.data != y.data
+            or len(x.inputs) != len(y.inputs)
+        ):
+            return False
+        memo.add(key)
+        queue.extend(zip(x.inputs, y.inputs))
+    return True

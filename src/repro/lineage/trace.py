@@ -1,0 +1,104 @@
+"""Lineage tracing: the ``LineageMap`` of live variables (paper §3.2).
+
+``TRACE`` is called for each linear-algebra instruction before execution;
+each output generates a new lineage item from the input items, which is
+added to the map.  On a successful cache probe the map entry is replaced
+by the cached object's key item (*compaction*, Fig. 5), which increases
+shared sub-DAGs and thereby probing efficiency and memory footprint.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.lineage.item import LineageItem, dataset, literal
+
+
+class LineageMap:
+    """Maps live variable names to the lineage DAGs of their values."""
+
+    def __init__(self) -> None:
+        self._map: dict[str, LineageItem] = {}
+        self.compactions = 0
+
+    def __contains__(self, var: str) -> bool:
+        return var in self._map
+
+    def __len__(self) -> int:
+        return len(self._map)
+
+    def get(self, var: str) -> Optional[LineageItem]:
+        """Lineage item of variable ``var`` (``None`` if untracked)."""
+        return self._map.get(var)
+
+    def get_or_create_leaf(self, var: str) -> LineageItem:
+        """Lineage of ``var``, creating a dataset leaf for unseen inputs."""
+        item = self._map.get(var)
+        if item is None:
+            item = dataset(var)
+            self._map[var] = item
+        return item
+
+    def set(self, var: str, item: LineageItem) -> None:
+        """Bind ``var`` to ``item`` (e.g. after executing an instruction)."""
+        self._map[var] = item
+
+    def set_literal(self, var: str, value: object) -> LineageItem:
+        """Bind ``var`` to a literal leaf and return it."""
+        item = literal(value)
+        self._map[var] = item
+        return item
+
+    def remove(self, var: str) -> None:
+        """Drop ``var`` from the map (variable went out of scope)."""
+        self._map.pop(var, None)
+
+    def trace(self, opcode: str, output_var: str,
+              input_vars: list[str] = (), data: tuple = ()) -> LineageItem:
+        """Create the lineage item for one instruction and bind the output.
+
+        Inputs that are not yet tracked become dataset leaves — this makes
+        tracing total, exactly like SystemDS tracing persistent reads.
+        """
+        inputs = tuple(self.get_or_create_leaf(v) for v in input_vars)
+        item = LineageItem(opcode, data, inputs)
+        self._map[output_var] = item
+        return item
+
+    def compact(self, var: str, cached_key: LineageItem) -> None:
+        """Replace the entry of ``var`` with the cache's key item.
+
+        After a successful probe, pointing the live variable at the cached
+        key object makes future DAGs built on ``var`` share sub-DAGs by
+        *identity* with the cached keys (paper Fig. 5), enabling the
+        identity early-abort in equality checks.
+        """
+        if self._map.get(var) is not cached_key:
+            self._map[var] = cached_key
+            self.compactions += 1
+
+    def live_variables(self) -> list[str]:
+        """Names of all tracked variables."""
+        return list(self._map)
+
+    def total_dag_nodes(self) -> int:
+        """Distinct lineage nodes reachable from live variables.
+
+        Shared sub-DAGs are counted once — the metric the compaction
+        optimization improves.
+        """
+        seen: set[int] = set()
+        count = 0
+        stack = list(self._map.values())
+        while stack:
+            node = stack.pop()
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            count += 1
+            stack.extend(node.inputs)
+        return count
+
+    def clear(self) -> None:
+        """Forget all variables (end of session/scope)."""
+        self._map.clear()

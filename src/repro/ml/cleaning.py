@@ -1,0 +1,99 @@
+"""Data-cleaning primitives (paper's CLEAN pipeline, SAGA-style [114]).
+
+Feature-wise primitives for missing-value imputation, outlier handling,
+scaling, class balancing, and dimensionality reduction.  All primitives
+are deterministic matrix programs, so their results are reusable across
+enumerated cleaning pipelines.
+"""
+
+from __future__ import annotations
+
+from repro.core.session import Session
+from repro.runtime.handles import MatrixHandle
+
+_EPS = 1e-12
+
+
+def impute_by_mean(sess: Session, X: MatrixHandle) -> MatrixHandle:
+    """Replace NaN cells with the column mean of observed values."""
+    observed = X.replace(float("nan"), 0.0)
+    is_nan = _nan_mask(sess, X)
+    counts = (1.0 - is_nan).col_sums().maximum(1.0)
+    means = observed.col_sums() / counts
+    return observed + is_nan * means
+
+
+def impute_by_mode(sess: Session, X: MatrixHandle) -> MatrixHandle:
+    """Replace NaN cells with an integer-rounded robust column value.
+
+    For integer-coded categorical features the rounded median is the
+    mode under mild unimodality — a standard matrix-program surrogate.
+    """
+    is_nan = _nan_mask(sess, X)
+    observed = X.replace(float("nan"), 0.0)
+    med = sess.quantile(observed, 0.5).round()
+    return observed + is_nan * med
+
+
+def outlier_by_iqr(sess: Session, X: MatrixHandle,
+                   k: float = 1.5) -> MatrixHandle:
+    """Winsorize values outside ``[Q1 - k*IQR, Q3 + k*IQR]`` per column."""
+    q1 = sess.quantile(X, 0.25)
+    q3 = sess.quantile(X, 0.75)
+    iqr = q3 - q1
+    lower = q1 - iqr * k
+    upper = q3 + iqr * k
+    return X.maximum(lower).minimum(upper)
+
+
+def scale(sess: Session, X: MatrixHandle) -> MatrixHandle:
+    """Standard (z-score) scaling per column."""
+    mu = X.col_means()
+    centered = X - mu
+    var = (centered ^ 2.0).col_means()
+    return centered / (var.sqrt() + _EPS)
+
+
+def normalize(sess: Session, X: MatrixHandle) -> MatrixHandle:
+    """Min-max normalization per column."""
+    lo = X.col_mins()
+    hi = X.col_maxs()
+    return (X - lo) / (hi - lo + _EPS)
+
+
+def under_sampling(sess: Session, X: MatrixHandle, y: MatrixHandle,
+                   ratio: float = 0.5) -> tuple[MatrixHandle, MatrixHandle]:
+    """Drop a deterministic fraction of rows to rebalance classes.
+
+    Keeps the leading ``(1 - ratio)`` fraction of rows — a deterministic
+    matrix program (row slicing), so the result is lineage-reusable on
+    both local and distributed inputs.
+    """
+    n = X.nrow
+    keep = max(int(n * (1.0 - ratio)), 2)
+    return X[0:keep, :], y[0:keep, :]
+
+
+def pca_project(sess: Session, X: MatrixHandle, k: int,
+                power_iterations: int = 5,
+                seed: int = 97) -> MatrixHandle:
+    """Project onto the top-``k`` principal directions.
+
+    Uses orthogonal-free power iteration on the covariance matrix —
+    all operations stay within the system's operator set, so PCA is
+    fully traced and reusable.
+    """
+    mu = X.col_means()
+    Xc = X - mu
+    cov = (Xc.t() @ Xc) / float(max(X.nrow - 1, 1))
+    V = sess.rand(X.ncol, k, min=-1.0, max=1.0, seed=seed)
+    for _ in range(power_iterations):
+        V = cov @ V
+        norms = ((V ^ 2.0).col_sums()).sqrt() + _EPS
+        V = V / norms
+    return Xc @ V
+
+
+def _nan_mask(sess: Session, X: MatrixHandle) -> MatrixHandle:
+    """Indicator matrix of NaN cells (NaN != NaN)."""
+    return 1.0 - X.eq(X)

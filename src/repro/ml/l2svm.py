@@ -1,0 +1,62 @@
+"""L2-regularized support vector machine (SystemDS ``l2svm`` builtin).
+
+Newton-style iterations with a squared-hinge loss; the inner loop's
+``X %*% w`` and ``t(X) %*% g`` multiplications dominate and repeat across
+hyper-parameter configurations — the reuse scenario of the paper's
+micro-benchmarks (Fig. 11) and the HBAND pipeline.
+"""
+
+from __future__ import annotations
+
+from repro.core.session import Session
+from repro.runtime.handles import MatrixHandle
+
+
+def l2svm(sess: Session, X: MatrixHandle, y: MatrixHandle,
+          reg: float = 1.0, intercept: int = 0,
+          max_iterations: int = 10, tol: float = 1e-9) -> MatrixHandle:
+    """Train a binary L2-SVM; labels in {-1, +1}.
+
+    ``intercept`` follows SystemDS: 0 = none, 1 = bias column,
+    2 = bias column + shift/rescale (approximated by the bias column).
+    """
+    if intercept > 0:
+        ones = sess.fill(X.nrow, 1, 1.0)
+        X = sess.cbind(X, ones)
+    w = sess.fill(X.ncol, 1, 0.0)
+    out = X @ w
+    g_old = (y * out - 1.0).minimum(0.0)  # hinge region indicator source
+    for _ in range(max_iterations):
+        # squared hinge loss gradient
+        margin = y * (X @ w)
+        active = (margin < 1.0)
+        residual = (margin - 1.0) * active
+        grad = (((residual * y).t() @ X).t()) + w * reg
+        step = grad * (-1.0 / (reg + float(X.nrow)))
+        w = (w + step).evaluate()
+    return w
+
+
+def l2svm_predict(sess: Session, X: MatrixHandle,
+                  w: MatrixHandle, intercept: int = 0) -> MatrixHandle:
+    """Raw decision scores ``X %*% w``."""
+    if intercept > 0:
+        X = sess.cbind(X, sess.fill(X.nrow, 1, 1.0))
+    return X @ w
+
+
+def l2svm_accuracy(sess: Session, scores: MatrixHandle,
+                   y: MatrixHandle) -> float:
+    """Fraction of correctly signed predictions."""
+    correct = (scores.sign() * y > 0.0).mean()
+    return correct.item()
+
+
+def l2svm_core_iteration(sess: Session, X: MatrixHandle, y: MatrixHandle,
+                         w: MatrixHandle, reg: float) -> MatrixHandle:
+    """One inner iteration, exposed for the reuse micro-benchmarks."""
+    margin = y * (X @ w)
+    active = (margin < 1.0)
+    residual = (margin - 1.0) * active
+    grad = (((residual * y).t() @ X).t()) + w * reg
+    return w + grad * (-1.0 / (reg + float(X.nrow)))

@@ -1,0 +1,36 @@
+"""Direct-solve linear regression (``linRegDS``, paper Example 4.1).
+
+The core operations ``t(X) %*% X`` and ``t(X) %*% y`` are independent of
+the regularization parameter, making them the canonical reuse targets of
+grid-search hyper-parameter tuning.  Following the paper (Fig. 2(b)),
+``t(X) %*% y`` is rewritten to ``t(t(y) %*% X)`` so Spark compiles a
+broadcast-based multiply of the small ``t(y)`` vector.
+"""
+
+from __future__ import annotations
+
+from repro.core.session import Session
+from repro.runtime.handles import MatrixHandle
+
+
+def lin_reg_ds(sess: Session, X: MatrixHandle, y: MatrixHandle,
+               reg: float) -> MatrixHandle:
+    """Closed-form ridge regression: ``(X'X + reg*I)^-1 X'y``."""
+    A = X.t() @ X
+    b = (y.t() @ X).t()
+    A_reg = A + sess.eye(X.ncol) * reg
+    return sess.solve(A_reg, b)
+
+
+def lin_reg_predict(sess: Session, X: MatrixHandle,
+                    beta: MatrixHandle) -> MatrixHandle:
+    """Predictions ``X %*% beta``."""
+    return X @ beta
+
+
+def r2_score(sess: Session, y: MatrixHandle,
+             y_hat: MatrixHandle) -> MatrixHandle:
+    """Coefficient of determination used by HCV to rank parameters."""
+    residual = ((y - y_hat) ^ 2.0).sum()
+    total = ((y - y.mean()) ^ 2.0).sum()
+    return 1.0 - residual / total

@@ -1,0 +1,45 @@
+"""Multinomial logistic regression (SystemDS ``multiLogReg`` builtin).
+
+Batch gradient descent over the softmax cross-entropy objective; used by
+the HBAND model-search pipeline next to L2SVM.
+"""
+
+from __future__ import annotations
+
+from repro.core.session import Session
+from repro.runtime.handles import MatrixHandle
+
+
+def mlogreg(sess: Session, X: MatrixHandle, Y: MatrixHandle,
+            reg: float = 1.0, intercept: int = 0,
+            max_iterations: int = 10,
+            step_size: float = 0.1) -> MatrixHandle:
+    """Train multinomial logistic regression.
+
+    ``Y`` is a one-hot label matrix (n x k).  Returns weights (m x k).
+    """
+    if intercept > 0:
+        X = sess.cbind(X, sess.fill(X.nrow, 1, 1.0))
+    W = sess.fill(X.ncol, Y.ncol, 0.0)
+    n = float(X.nrow)
+    for _ in range(max_iterations):
+        probs = (X @ W).softmax()
+        grad = (X.t() @ (probs - Y)) / n + W * reg
+        W = (W - grad * step_size).evaluate()
+    return W
+
+
+def mlogreg_predict(sess: Session, X: MatrixHandle, W: MatrixHandle,
+                    intercept: int = 0) -> MatrixHandle:
+    """Class probabilities via softmax."""
+    if intercept > 0:
+        X = sess.cbind(X, sess.fill(X.nrow, 1, 1.0))
+    return (X @ W).softmax()
+
+
+def mlogreg_accuracy(sess: Session, probs: MatrixHandle,
+                     Y: MatrixHandle) -> float:
+    """Top-1 accuracy against one-hot labels."""
+    pred = probs.row_argmax()
+    truth = Y.row_argmax()
+    return pred.eq(truth).mean().item()

@@ -1,0 +1,52 @@
+"""Poisson non-negative matrix factorization (paper §6.3, Fig. 9(c)).
+
+Multiplicative update rules factorizing ``X ~ W %*% H``; on MovieLens-
+scale data the factor ``W`` is distributed while ``H`` stays local.
+Without checkpoints, Spark's lazy evaluation makes every iteration's jobs
+re-execute all previous iterations — the scenario MEMPHIS's loop
+checkpoint rewrite targets.
+"""
+
+from __future__ import annotations
+
+from repro.core.session import Session
+from repro.runtime.handles import MatrixHandle
+
+_EPS = 1e-8
+
+
+def pnmf(sess: Session, X: MatrixHandle, rank: int,
+         iterations: int = 10, seed: int = 13) -> tuple[MatrixHandle, MatrixHandle]:
+    """Factorize ``X`` (n x m) into ``W`` (n x rank) and ``H`` (rank x m)."""
+    W = sess.rand(X.nrow, rank, min=0.01, max=1.0, seed=seed)
+    H = sess.rand(rank, X.ncol, min=0.01, max=1.0, seed=seed + 1)
+    with sess.loop("pnmf") as loop:
+        for _ in range(iterations):
+            W, H = pnmf_iteration(sess, X, W, H)
+            loop.update(W=W)
+    return W, H
+
+
+def pnmf_iteration(sess: Session, X: MatrixHandle, W: MatrixHandle,
+                   H: MatrixHandle) -> tuple[MatrixHandle, MatrixHandle]:
+    """One pair of multiplicative updates (Liu et al., WWW'10)."""
+    # H update: H * (t(W) %*% (X / (W H))) / (t(colSums-ish of W))
+    WH = W @ H
+    ratio = X / (WH + _EPS)
+    numer_h = W.t() @ ratio
+    denom_h = W.col_sums().t()  # rank x 1, broadcasts over H columns
+    H = (H * numer_h / (denom_h + _EPS)).evaluate()
+    # W update: W * ((X / (W H)) %*% t(H)) / rowSums-ish of H
+    WH2 = W @ H
+    ratio2 = X / (WH2 + _EPS)
+    numer_w = ratio2 @ H.t()
+    denom_w = H.row_sums().t()  # 1 x rank, broadcasts over W rows
+    W = (W * numer_w / (denom_w + _EPS)).evaluate()
+    return W, H
+
+
+def pnmf_loss(sess: Session, X: MatrixHandle, W: MatrixHandle,
+              H: MatrixHandle) -> float:
+    """Poisson divergence (up to constants): sum(WH - X*log(WH))."""
+    WH = W @ H + _EPS
+    return (WH - X * WH.log()).sum().item()

@@ -1,0 +1,56 @@
+"""Feature transformations: recode, binning, one-hot (paper's IDP).
+
+These form the input data pipelines (IDP) applied batch-wise in HDROP —
+the transformation is reused on the host while normalization is reused
+on the GPU (paper §6.3).
+"""
+
+from __future__ import annotations
+
+from repro.core.session import Session
+from repro.runtime.handles import MatrixHandle
+
+
+def recode(sess: Session, X: MatrixHandle) -> MatrixHandle:
+    """Dictionary-encode categorical columns to dense 1-based codes."""
+    return sess.recode(X)
+
+
+def equi_width_bin(sess: Session, X: MatrixHandle,
+                   num_bins: int = 10) -> MatrixHandle:
+    """Equi-width binning into 1-based bin ids."""
+    return sess.bin(X, num_bins)
+
+
+def one_hot(sess: Session, codes: MatrixHandle,
+            num_codes: int) -> MatrixHandle:
+    """One-hot encode a single 1-based code column via ``table``."""
+    rows = sess.seq(1, codes.nrow, 1.0)
+    return sess.table(rows, codes, codes.nrow, num_codes)
+
+
+def transform_encode(sess: Session, categorical: MatrixHandle,
+                     numerical: MatrixHandle, num_bins: int = 10,
+                     one_hot_width: int = 16) -> MatrixHandle:
+    """The HDROP feature map: recode + bin + one-hot of first column.
+
+    Categorical columns are recoded; numerical columns binned; the first
+    categorical column is additionally one-hot encoded (codes clamped to
+    ``one_hot_width``), then everything is column-bound.
+    """
+    codes = recode(sess, categorical)
+    bins = equi_width_bin(sess, numerical, num_bins)
+    first = codes[:, 0:1].minimum(float(one_hot_width))
+    hot = one_hot(sess, first, one_hot_width)
+    return sess.cbind(codes, bins, hot)
+
+
+def minibatch(X: MatrixHandle, index: int, batch_size: int) -> MatrixHandle:
+    """Slice mini-batch ``index`` (0-based) out of ``X``.
+
+    Slicing directly from the input keeps the lineage trace short, which
+    the GPU eviction policy's ``1/h(o)`` term rewards (paper Eq. 2).
+    """
+    start = index * batch_size
+    stop = min(start + batch_size, X.nrow)
+    return X[start:stop, :]

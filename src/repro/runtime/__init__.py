@@ -1,0 +1,6 @@
+"""Runtime: values, handles, placement, interpreter."""
+
+from repro.runtime.handles import MatrixHandle
+from repro.runtime.values import MatrixValue, ScalarValue, Value, make_value
+
+__all__ = ["MatrixHandle", "MatrixValue", "ScalarValue", "Value", "make_value"]

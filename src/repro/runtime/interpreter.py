@@ -1,0 +1,641 @@
+"""Instruction interpreter with lineage tracing and multi-backend reuse.
+
+Executes a linearized hop stream following the paper's main loop
+(Fig. 4)::
+
+    for inst in instructions:
+        TRACE(inst)
+        if not REUSE(inst):
+            execute(inst)
+            PUT(inst)
+
+and handles all inter-backend data exchange (collect, broadcast,
+parallelize, H2D/D2H), asynchronous prefetch futures, checkpoint
+persisting, and GPU pointer lifetimes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+import numpy as np
+
+from repro.backends.gpu.backend import GpuData
+from repro.backends.spark.backend import DistributedMatrix
+from repro.backends.spark.broadcast import Broadcast
+from repro.common.config import ReuseMode
+from repro.common.errors import PlacementError
+from repro.common.simclock import HOST, SimFuture
+from repro.common.stats import (
+    CHECKPOINTS_PLACED,
+    INSTRUCTIONS_SKIPPED,
+    LINEAGE_TRACED,
+    PREFETCH_ISSUED,
+    BROADCAST_ISSUED,
+    SPARK_ACTION_REUSE,
+)
+from repro.compiler.ir import KIND_DATA, KIND_LITERAL, KIND_OP, Hop
+from repro.core.entry import (
+    BACKEND_CP,
+    BACKEND_GPU,
+    BACKEND_SP,
+    CacheEntry,
+)
+from repro.lineage.item import LineageItem, dataset, literal
+from repro.runtime.placement import (
+    SPARK_AGG_ACTION,
+    SPARK_AGG_MAP,
+    SPARK_ELEMENTWISE,
+    SPARK_UNARY,
+    matmul_pattern,
+)
+from repro.runtime.values import MatrixValue, ScalarValue, Value
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.session import Session
+
+
+class Slot:
+    """Runtime binding of one hop: lineage + multi-backend payloads."""
+
+    __slots__ = ("lineage", "payloads", "future", "broadcast", "fused_from")
+
+    def __init__(self, lineage: LineageItem) -> None:
+        self.lineage = lineage
+        self.payloads: dict[str, object] = {}
+        #: pending asynchronous fetch (prefetch rewrite).
+        self.future: Optional[SimFuture] = None
+        #: broadcast variable created for this value (if any).
+        self.broadcast: Optional[Broadcast] = None
+        #: for fused transposes: the slot of the underlying input.
+        self.fused_from: Optional["Slot"] = None
+
+
+def _attr_data(attrs: dict) -> tuple:
+    """Flatten attributes into a deterministic lineage data tuple.
+
+    NaN floats are encoded as a sentinel string: Python hashes NaN by
+    object identity and ``nan != nan``, which would make structurally
+    identical lineage items unequal (breaking all reuse of e.g.
+    ``replace(NaN, v)``).
+    """
+    out: list = []
+    for key in sorted(attrs):
+        out.append(key)
+        value = attrs[key]
+        if isinstance(value, float) and value != value:
+            out.append("__nan__")
+        elif isinstance(value, (int, float, bool, str)):
+            out.append(value)
+        else:
+            out.append(str(value))
+    return tuple(out)
+
+
+class Interpreter:
+    """Executes compiled hop streams inside a session."""
+
+    def __init__(self, session: "Session") -> None:
+        self.session = session
+        self.config = session.config
+        self.stats = session.stats
+        self.clock = session.clock
+        self.cache = session.cache
+
+    # ------------------------------------------------------------------ top level
+
+    def run(self, order: list[Hop]) -> dict[int, Slot]:
+        """Execute a linearized instruction stream; returns hop id -> slot.
+
+        GPU pointers acquired during the run (allocations, uploads, and
+        cache-hit reuses) each hold one reference; the session binds
+        surviving handles (adding their own references) and then calls
+        :meth:`release_acquired` to drop the execution references, moving
+        unreferenced pointers to the Free list (Fig. 8(b)).
+        """
+        env: dict[int, Slot] = {}
+        self._acquired: list[GpuData] = []
+        for hop in order:
+            slot = self._execute_one(hop, env, self._acquired)
+            env[hop.id] = slot
+        return env
+
+    def release_acquired(self) -> None:
+        """Drop the execution references on all GPU pointers of this run."""
+        for data in self._acquired:
+            if not data.ptr.freed:
+                self.session.gpu.memory.release(data.ptr)
+        self._acquired = []
+
+    # --------------------------------------------------------------- per instruction
+
+    def _execute_one(self, hop: Hop, env: dict[int, Slot],
+                     gpu_created: list[GpuData]) -> Slot:
+        mode = self.config.reuse_mode
+
+        if hop.kind == KIND_LITERAL:
+            slot = Slot(literal(hop.value))
+            slot.payloads[BACKEND_CP] = ScalarValue(hop.value)
+            return slot
+
+        if hop.kind == KIND_DATA:
+            return self._data_slot(hop)
+
+        # TRACE
+        in_slots = [env[h.id] for h in hop.inputs]
+        item = self._trace(hop, in_slots)
+        slot = Slot(item)
+
+        if hop.fused:
+            # transpose fused into tsmm/cpmm: pass through the input slot
+            slot.fused_from = in_slots[0]
+            return slot
+
+        # REUSE (LIMA traces and reuses only local CPU instructions)
+        local_only_skip = (
+            mode is ReuseMode.LOCAL_ONLY and hop.placement != BACKEND_CP
+        )
+        if self._probe_enabled(mode) and not local_only_skip:
+            entry = self._probe(hop, item)
+            if entry is not None:
+                self._apply_reuse(hop, slot, entry)
+                return slot
+
+        # EXECUTE
+        backend = hop.placement or BACKEND_CP
+        if backend == BACKEND_SP:
+            self._exec_spark(hop, slot, in_slots)
+        elif backend == BACKEND_GPU:
+            self._exec_gpu(hop, slot, in_slots, gpu_created)
+        else:
+            self._exec_cpu(hop, slot, in_slots)
+
+        # compiler-placed RDD checkpoint (§5.2)
+        if hop.checkpoint and BACKEND_SP in slot.payloads:
+            dm: DistributedMatrix = slot.payloads[BACKEND_SP]
+            if not dm.rdd.is_persisted:
+                dm.rdd.persist(self.session.spark_mgr.storage_level)
+                self.stats.inc(CHECKPOINTS_PLACED)
+
+        # asynchronous prefetch of remote results (§5.1)
+        if hop.prefetch and self.config.enable_async_ops:
+            self._issue_prefetch(hop, slot)
+
+        # asynchronous broadcast of local results (§5.1)
+        if hop.async_broadcast and BACKEND_CP in slot.payloads:
+            self._issue_broadcast(slot)
+
+        # PUT
+        if self._put_enabled(mode):
+            self._put(hop, slot)
+        return slot
+
+    # ----------------------------------------------------------------- trace / reuse
+
+    def _trace(self, hop: Hop, in_slots: list[Slot]) -> LineageItem:
+        mode = self.config.reuse_mode
+        inputs = tuple(s.lineage for s in in_slots)
+        item = LineageItem(hop.opcode, _attr_data(hop.attrs), inputs)
+        if mode is not ReuseMode.NONE:
+            self.clock.advance(self.config.cpu.trace_overhead_s, HOST)
+            self.stats.inc(LINEAGE_TRACED)
+        return item
+
+    def _probe_enabled(self, mode: ReuseMode) -> bool:
+        return mode in (
+            ReuseMode.PROBE_ONLY, ReuseMode.FULL,
+            ReuseMode.LOCAL_ONLY, ReuseMode.OPERATOR_ONLY,
+        )
+
+    def _put_enabled(self, mode: ReuseMode) -> bool:
+        return mode in (
+            ReuseMode.FULL, ReuseMode.LOCAL_ONLY, ReuseMode.OPERATOR_ONLY,
+        )
+
+    def _probe(self, hop: Hop, item: LineageItem) -> Optional[CacheEntry]:
+        self.clock.advance(self.config.cpu.probe_overhead_s, HOST)
+        return self.cache.probe(item)
+
+    def _apply_reuse(self, hop: Hop, slot: Slot, entry: CacheEntry) -> None:
+        """Bind a cache hit: skip the instruction entirely."""
+        slot.payloads = dict(entry.payloads)
+        gpu_payload = slot.payloads.get(BACKEND_GPU)
+        if gpu_payload is not None:
+            data: GpuData = gpu_payload
+            if data.ptr.freed:
+                # pointer was recycled between invalidation and probe
+                slot.payloads.pop(BACKEND_GPU, None)
+            else:
+                self.session.gpu.memory.reuse_from_free(data.ptr)
+                self._acquired.append(data)
+        if BACKEND_SP in slot.payloads:
+            self.session.spark_mgr.reuse_rdd(entry)
+        if hop.placement == BACKEND_SP and BACKEND_CP in slot.payloads:
+            # reused a previously collected action result: consumers read
+            # the driver-side copy instead of triggering a Spark job
+            self.stats.inc(SPARK_ACTION_REUSE)
+        self.stats.inc(INSTRUCTIONS_SKIPPED)
+
+    def _put(self, hop: Hop, slot: Slot) -> None:
+        mode = self.config.reuse_mode
+        if mode is ReuseMode.LOCAL_ONLY and hop.placement != BACKEND_CP:
+            return
+        item = slot.lineage
+        delay = self.session.delay_factor
+        cost = hop.flops
+        if BACKEND_CP in slot.payloads:
+            value: Value = slot.payloads[BACKEND_CP]
+            self.cache.put(item, value, BACKEND_CP, value.nbytes, cost,
+                           delay_factor=1 if mode is ReuseMode.LOCAL_ONLY
+                           else delay)
+        if mode is ReuseMode.LOCAL_ONLY:
+            return
+        if BACKEND_SP in slot.payloads:
+            dm: DistributedMatrix = slot.payloads[BACKEND_SP]
+            entry = self.cache.put(item, dm, BACKEND_SP, dm.nbytes, cost,
+                                   delay_factor=delay)
+            if entry is not None:
+                self.session.spark_mgr.cache_rdd(entry, dm)
+        if BACKEND_GPU in slot.payloads:
+            data: GpuData = slot.payloads[BACKEND_GPU]
+            self.cache.put(item, data, BACKEND_GPU, data.nbytes, cost,
+                           delay_factor=delay)
+
+    # ------------------------------------------------------------------- data leaves
+
+    def _data_slot(self, hop: Hop) -> Slot:
+        if hop.bundle is not None:
+            lineage, payloads = hop.bundle
+        else:
+            handle = hop.handle
+            if handle is None:
+                raise PlacementError(f"data hop {hop} has no handle")
+            if handle.lineage is None:
+                handle.lineage = dataset(handle.name or f"data_{hop.id}")
+            lineage, payloads = handle.lineage, handle.payloads
+        slot = Slot(lineage)
+        slot.payloads = dict(payloads)
+        # drop stale GPU payloads whose pointer was recycled; the host
+        # shadow of the value recovers the data when no other copy exists
+        gpu_payload = slot.payloads.get(BACKEND_GPU)
+        if gpu_payload is not None and gpu_payload.ptr.freed:
+            slot.payloads.pop(BACKEND_GPU)
+            payloads.pop(BACKEND_GPU, None)
+            if BACKEND_CP not in slot.payloads:
+                slot.payloads[BACKEND_CP] = gpu_payload.value
+                payloads[BACKEND_CP] = gpu_payload.value
+        return slot
+
+    # --------------------------------------------------------------------- exchange
+
+    def _to_cp(self, slot: Slot, jobs_entry: bool = True) -> Value:
+        """Materialize a slot on the driver (collect / D2H / future wait)."""
+        if slot.fused_from is not None:
+            return self._to_cp(slot.fused_from)
+        if BACKEND_CP in slot.payloads:
+            return slot.payloads[BACKEND_CP]
+        if slot.future is not None:
+            raw = slot.future.wait()
+            value = raw if isinstance(raw, (MatrixValue, ScalarValue)) \
+                else MatrixValue(raw)
+            slot.payloads[BACKEND_CP] = value
+            slot.future = None
+            self._cache_exchange(slot, value)
+            return value
+        if BACKEND_SP in slot.payloads:
+            dm: DistributedMatrix = slot.payloads[BACKEND_SP]
+            value = self.session.spark.collect(dm)
+            slot.payloads[BACKEND_CP] = value
+            self._cache_exchange(slot, value, count_job=jobs_entry)
+            return value
+        if BACKEND_GPU in slot.payloads:
+            data: GpuData = slot.payloads[BACKEND_GPU]
+            value = self.session.gpu.to_host(data)
+            slot.payloads[BACKEND_CP] = value
+            self._cache_exchange(slot, value)
+            return value
+        raise PlacementError("slot has no payload to materialize")
+
+    def _cache_exchange(self, slot: Slot, value: Value,
+                        count_job: bool = False) -> None:
+        """Cache a collected/fetched CP copy under the same lineage key.
+
+        This is what makes Spark *action reuse* work: the next time the
+        same lineage is probed, the driver-side copy short-circuits the
+        job (paper Fig. 6, top entry).  LIMA has no Spark awareness, so
+        collected results of distributed operations are not cached there.
+        """
+        mode = self.config.reuse_mode
+        if not self._put_enabled(mode) or mode is ReuseMode.LOCAL_ONLY:
+            return
+        entry = self.cache.get_entry(slot.lineage)
+        if entry is not None and entry.is_cached:
+            entry.put_payload(BACKEND_CP, value, value.nbytes,
+                              entry.compute_cost)
+            if count_job:
+                entry.jobs += 1
+            return
+        self.cache.put(slot.lineage, value, BACKEND_CP, value.nbytes,
+                       1.0, delay_factor=1)
+
+    def _to_dm(self, slot: Slot, name: str = "in") -> DistributedMatrix:
+        if slot.fused_from is not None:
+            return self._to_dm(slot.fused_from, name)
+        if BACKEND_SP in slot.payloads:
+            return slot.payloads[BACKEND_SP]
+        value = self._to_cp(slot)
+        dm = self.session.spark.distribute(value, name)
+        slot.payloads[BACKEND_SP] = dm
+        return dm
+
+    def _to_bc(self, slot: Slot) -> Broadcast:
+        if slot.broadcast is not None and not slot.broadcast.destroyed:
+            return slot.broadcast
+        value = self._to_cp(slot)
+        # serialization/partitioning cost on the driver
+        self.clock.advance(
+            value.nbytes / self.config.cpu.mem_bandwidth_bytes_per_s, HOST
+        )
+        slot.broadcast = self.session.spark.broadcast(
+            value if isinstance(value, MatrixValue)
+            else MatrixValue(np.full((1, 1), value.as_float()))
+        )
+        return slot.broadcast
+
+    def _to_gpu(self, slot: Slot, gpu_created: list[GpuData]) -> GpuData:
+        payload = slot.payloads.get(BACKEND_GPU)
+        if payload is not None and not payload.ptr.freed:
+            return payload
+        value = self._to_cp(slot)
+        if isinstance(value, ScalarValue):
+            value = MatrixValue(np.full((1, 1), value.as_float()))
+        data = self.session.gpu.to_device(value)
+        slot.payloads[BACKEND_GPU] = data
+        gpu_created.append(data)
+        return data
+
+    # -------------------------------------------------------------------- CPU / GPU
+
+    def _exec_cpu(self, hop: Hop, slot: Slot, in_slots: list[Slot]) -> None:
+        values = [self._to_cp(s) for s in in_slots]
+        out = self.session.cpu.execute(hop.opcode, values, hop.attrs)
+        slot.payloads[BACKEND_CP] = out
+
+    def _exec_gpu(self, hop: Hop, slot: Slot, in_slots: list[Slot],
+                  gpu_created: list[GpuData]) -> None:
+        gpu_inputs: list[object] = []
+        for s in in_slots:
+            cp = s.payloads.get(BACKEND_CP)
+            if isinstance(cp, ScalarValue):
+                gpu_inputs.append(cp)
+            else:
+                gpu_inputs.append(self._to_gpu(s, gpu_created))
+        out = self.session.gpu.execute(
+            hop.opcode, gpu_inputs, hop.attrs,
+            lineage_height=slot.lineage.height,
+        )
+        if isinstance(out, GpuData):
+            slot.payloads[BACKEND_GPU] = out
+            gpu_created.append(out)
+        else:
+            slot.payloads[BACKEND_CP] = out
+
+    # ------------------------------------------------------------------------ Spark
+
+    def _exec_spark(self, hop: Hop, slot: Slot, in_slots: list[Slot]) -> None:
+        sb = self.session.spark
+        op = hop.opcode
+
+        if op == "ba+*":
+            self._exec_spark_matmul(hop, slot, in_slots)
+            return
+
+        if op in SPARK_ELEMENTWISE:
+            left, right = hop.inputs
+            ls, rs = in_slots
+            if right.shape == (1, 1):
+                scalar = self._scalar_of(rs)
+                slot.payloads[BACKEND_SP] = sb.elementwise_scalar(
+                    op, self._to_dm(ls), scalar
+                )
+            elif left.shape == (1, 1):
+                scalar = self._scalar_of(ls)
+                slot.payloads[BACKEND_SP] = sb.elementwise_scalar(
+                    op, self._to_dm(rs), scalar, scalar_left=True
+                )
+            elif left.shape[0] == right.shape[0] and right.shape[0] > 1:
+                # equal row counts: partition-aligned zip (covers both
+                # matrix-matrix and matrix-column-vector operands)
+                slot.payloads[BACKEND_SP] = sb.elementwise_zip(
+                    op, self._to_dm(ls), self._to_dm(rs)
+                )
+            elif right.shape[0] == 1:
+                # row vector: broadcast against every row block
+                bc = self._to_bc(rs)
+                slot.payloads[BACKEND_SP] = sb.elementwise_broadcast(
+                    op, self._to_dm(ls), bc, right.shape[1]
+                )
+            elif left.shape[0] == 1:
+                bc = self._to_bc(ls)
+                slot.payloads[BACKEND_SP] = sb.elementwise_broadcast(
+                    op, self._to_dm(rs), bc, left.shape[1], bc_left=True
+                )
+            else:
+                slot.payloads[BACKEND_SP] = sb.elementwise_zip(
+                    op, self._to_dm(ls), self._to_dm(rs)
+                )
+            return
+
+        if op in SPARK_UNARY:
+            if op == "replace":
+                pattern = float(hop.attrs.get("pattern", np.nan))
+                repl = float(hop.attrs.get("replacement", 0.0))
+
+                def fn(b, pattern=pattern, repl=repl):
+                    out = b.copy()
+                    if np.isnan(pattern):
+                        out[np.isnan(out)] = repl
+                    else:
+                        out[out == pattern] = repl
+                    return out
+
+                dm = self._to_dm(in_slots[0])
+                rdd = dm.rdd.map_blocks(fn, "replace")
+                slot.payloads[BACKEND_SP] = DistributedMatrix(
+                    rdd, dm.nrow, dm.ncol
+                )
+            else:
+                slot.payloads[BACKEND_SP] = sb.unary(
+                    op, self._to_dm(in_slots[0])
+                )
+            return
+
+        if op in SPARK_AGG_ACTION:
+            self._exec_spark_aggregate(hop, slot, in_slots)
+            return
+
+        if op in SPARK_AGG_MAP:
+            dm = self._to_dm(in_slots[0])
+            if op == "uark+":
+                slot.payloads[BACKEND_SP] = sb.row_sums(dm)
+            elif op == "uarmean":
+                rs = sb.row_sums(dm)
+                slot.payloads[BACKEND_SP] = sb.elementwise_scalar(
+                    "/", rs, float(dm.ncol)
+                )
+            else:  # uarmax
+                rdd = dm.rdd.map_blocks(
+                    lambda b: b.max(axis=1, keepdims=True), "uarmax"
+                )
+                slot.payloads[BACKEND_SP] = DistributedMatrix(
+                    rdd, dm.nrow, 1
+                )
+            return
+
+        if op == "r'":
+            slot.payloads[BACKEND_SP] = sb.transpose(self._to_dm(in_slots[0]))
+            return
+
+        if op == "rbind":
+            slot.payloads[BACKEND_SP] = sb.rbind(
+                self._to_dm(in_slots[0]), self._to_dm(in_slots[1])
+            )
+            return
+
+        if op == "rightIndex":
+            in_shape = hop.inputs[0].shape
+            rl = int(hop.attrs.get("rl", 1)) - 1
+            ru = int(hop.attrs.get("ru", in_shape[0]))
+            cl = int(hop.attrs.get("cl", 1)) - 1
+            cu = int(hop.attrs.get("cu", in_shape[1]))
+            dm = self._to_dm(in_slots[0])
+            if cl != 0 or cu != in_shape[1]:
+                rdd = dm.rdd.map_blocks(
+                    lambda b, cl=cl, cu=cu: b[:, cl:cu].copy(), "rightIndex"
+                )
+                dm = DistributedMatrix(rdd, dm.nrow, cu - cl)
+            if rl != 0 or ru != in_shape[0]:
+                dm = sb.slice_rows(dm, rl, ru)
+            slot.payloads[BACKEND_SP] = dm
+            return
+
+        raise PlacementError(f"no Spark physical operator for {op!r}")
+
+    def _exec_spark_aggregate(self, hop: Hop, slot: Slot,
+                              in_slots: list[Slot]) -> None:
+        """Single-block aggregates execute as Spark actions.
+
+        When the prefetch rewrite flagged the action, the job runs
+        asynchronously and consumers wait on the returned future (§5.1:
+        "this rewrite flags all other Spark actions for asynchronous
+        execution").
+        """
+        op = hop.opcode
+        dm = self._to_dm(in_slots[0])
+        cells = float(dm.nrow * dm.ncol)
+        nrow = float(dm.nrow)
+
+        if op in ("uak+", "uamean"):
+            partial = dm.rdd.map_blocks(
+                lambda b: np.array([[b.sum()]]), "uak+_partial"
+            )
+            combine = lambda a, b: a + b
+            if op == "uak+":
+                finish = lambda out: ScalarValue(float(out[0, 0]))
+            else:
+                finish = lambda out: ScalarValue(float(out[0, 0]) / cells)
+        elif op in ("uack+", "uacmean"):
+            partial = dm.rdd.map_blocks(
+                lambda b: b.sum(axis=0, keepdims=True), "uack+_partial"
+            )
+            combine = lambda a, b: a + b
+            if op == "uack+":
+                finish = lambda out: MatrixValue(out)
+            else:
+                finish = lambda out: MatrixValue(out / nrow)
+        elif op in ("uamax", "uamin"):
+            agg = np.max if op == "uamax" else np.min
+            reducer = np.maximum if op == "uamax" else np.minimum
+            partial = dm.rdd.map_blocks(
+                lambda b, f=agg: np.array([[f(b)]]), op + "_partial"
+            )
+            combine = lambda a, b, r=reducer: r(a, b)
+            finish = lambda out: ScalarValue(float(out[0, 0]))
+        else:  # pragma: no cover - guarded by SPARK_AGG_ACTION
+            raise PlacementError(f"unhandled Spark aggregate {op}")
+
+        sc = self.session.spark.sc
+        if hop.prefetch and self.config.enable_async_ops:
+            raw = sc.reduce_async(partial, combine)
+            slot.future = SimFuture(
+                self.clock, raw.ready_time, finish(raw.value),
+                label=f"agg:{op}",
+            )
+            self.stats.inc(PREFETCH_ISSUED)
+        else:
+            slot.payloads[BACKEND_CP] = finish(sc.reduce(partial, combine))
+
+    def _exec_spark_matmul(self, hop: Hop, slot: Slot,
+                           in_slots: list[Slot]) -> None:
+        sb = self.session.spark
+        pattern = matmul_pattern(hop, self.config)
+        left, right = hop.inputs
+        ls, rs = in_slots
+        if pattern == "tsmm":
+            dm = self._to_dm(ls.fused_from or ls)
+            slot.payloads[BACKEND_SP] = sb.tsmm(dm)
+        elif pattern == "cpmm":
+            a = self._to_dm(ls.fused_from or ls)
+            b = self._to_dm(rs)
+            slot.payloads[BACKEND_SP] = sb.cpmm(a, b)
+        elif pattern == "mapmm":
+            bc = self._to_bc(rs)
+            slot.payloads[BACKEND_SP] = sb.mapmm(
+                self._to_dm(ls), bc, right.shape[1]
+            )
+        elif pattern == "bcmm":
+            bc = self._to_bc(ls)
+            slot.payloads[BACKEND_SP] = sb.bcmm_left(
+                bc, left.shape[0], self._to_dm(rs)
+            )
+        else:
+            raise PlacementError(
+                f"no Spark matmul pattern for shapes "
+                f"{left.shape} x {right.shape}"
+            )
+
+    def _scalar_of(self, slot: Slot) -> float:
+        value = self._to_cp(slot)
+        if isinstance(value, ScalarValue):
+            return value.as_float()
+        return float(value.data.reshape(-1)[0])
+
+    # --------------------------------------------------------------------- async ops
+
+    def _issue_prefetch(self, hop: Hop, slot: Slot) -> None:
+        """Trigger the remote job now and return a future (§5.1)."""
+        if BACKEND_CP in slot.payloads or slot.future is not None:
+            return
+        if BACKEND_SP in slot.payloads:
+            dm: DistributedMatrix = slot.payloads[BACKEND_SP]
+            slot.future = self.session.spark.sc.collect_async(dm.rdd)
+            self.stats.inc(PREFETCH_ISSUED)
+        elif BACKEND_GPU in slot.payloads:
+            data: GpuData = slot.payloads[BACKEND_GPU]
+            ready = self.session.gpu.to_host_async(data)
+            slot.future = SimFuture(self.clock, ready, data.value,
+                                    label="gpu_prefetch")
+            self.stats.inc(PREFETCH_ISSUED)
+
+    def _issue_broadcast(self, slot: Slot) -> None:
+        """Asynchronously partition + register a broadcast variable."""
+        if slot.broadcast is not None:
+            return
+        value = slot.payloads.get(BACKEND_CP)
+        if not isinstance(value, MatrixValue):
+            return
+        # asynchronous: the partitioning overlaps with host execution,
+        # so only the registration latency is charged
+        slot.broadcast = self.session.spark.broadcast(value)
+        self.stats.inc(BROADCAST_ISSUED)
+

@@ -1,0 +1,132 @@
+"""Operator placement: assign each hop to CP, Spark, or GPU.
+
+Follows SystemDS's heuristics (paper §2.1): operations whose worst-case
+memory estimate exceeds the driver's operation memory are compiled to
+Spark instructions; compute-intensive dense operations are placed on the
+GPU when enabled; everything else runs on the local CPU — all in a
+data-locality-aware manner (inputs already resident on a backend pull
+their consumers toward it).
+"""
+
+from __future__ import annotations
+
+from repro.backends.gpu.backend import GPU_OPCODES
+from repro.common.config import MemphisConfig
+from repro.compiler.ir import KIND_DATA, KIND_LITERAL, Hop
+from repro.core.entry import BACKEND_CP, BACKEND_GPU, BACKEND_SP
+
+#: opcodes with a Spark physical operator (element-wise, matmul patterns,
+#: reorg, aggregates); ``ba+*`` is pattern-checked separately.
+SPARK_ELEMENTWISE = {
+    "+", "-", "*", "/", "^", "min", "max",
+    ">", "<", ">=", "<=", "==", "!=",
+}
+SPARK_UNARY = {"exp", "log", "sqrt", "abs", "sign", "round", "relu",
+               "sigmoid", "tanh", "replace"}
+SPARK_AGG_ACTION = {"uak+", "uack+", "uamean", "uacmean", "uamax", "uamin"}
+SPARK_AGG_MAP = {"uark+", "uarmean", "uarmax"}
+SPARK_REORG = {"r'", "rbind", "rightIndex"}
+
+
+def spark_supported(hop: Hop, config: MemphisConfig) -> bool:
+    """Whether a Spark physical operator exists for this hop."""
+    op = hop.opcode
+    if op in SPARK_ELEMENTWISE or op in SPARK_UNARY:
+        return True
+    if op in SPARK_AGG_ACTION or op in SPARK_AGG_MAP:
+        return True
+    if op == "rightIndex":
+        # column slicing is a narrow map; row slicing is a shuffle; a
+        # combined row+column slice is executed in two steps by dispatch
+        return True
+    if op in ("r'", "rbind"):
+        return True
+    if op == "ba+*":
+        return _matmul_pattern(hop, config) is not None
+    return False
+
+
+def _matmul_pattern(hop: Hop, config: MemphisConfig) -> str | None:
+    """Classify a distributed matrix multiply (mirrors SystemDS).
+
+    Returns one of ``tsmm``/``cpmm``/``mapmm``/``bcmm`` or ``None``.
+    "Distributed" sides are those above the operation-memory budget;
+    broadcastable sides must additionally fit the driver's broadcast
+    limit.
+    """
+    left, right = hop.inputs
+    op_mem = config.cpu.operation_memory_bytes
+    bc_limit = config.spark.driver_memory // 4
+    if left.opcode == "r'":
+        base = left.inputs[0]
+        if base is right or (
+            base.kind == KIND_DATA and right.kind == KIND_DATA
+            and base.handle is right.handle
+        ):
+            return "tsmm"
+        if base.output_bytes > op_mem and right.output_bytes > op_mem:
+            return "cpmm"
+    if right.output_bytes <= bc_limit and left.output_bytes > op_mem:
+        return "mapmm"
+    if left.output_bytes <= bc_limit and right.output_bytes > op_mem:
+        return "bcmm"
+    return None
+
+
+def matmul_pattern(hop: Hop, config: MemphisConfig) -> str | None:
+    """Public pattern classifier used by the Spark dispatch at runtime."""
+    return _matmul_pattern(hop, config)
+
+
+def assign_placements(roots: list[Hop], config: MemphisConfig) -> None:
+    """Annotate every hop reachable from ``roots`` with a backend tag."""
+    op_mem = config.cpu.operation_memory_bytes
+    for root in roots:
+        for hop in root.iter_dag():
+            if hop.placement is not None:
+                continue
+            if hop.kind == KIND_LITERAL:
+                hop.placement = BACKEND_CP
+                continue
+            if hop.kind == KIND_DATA:
+                hop.placement = _data_location(hop)
+                continue
+            hop.placement = _place_op(hop, config, op_mem)
+
+
+def _data_location(hop: Hop) -> str:
+    handle = hop.handle
+    if handle is not None and handle.payloads:
+        for backend in (BACKEND_SP, BACKEND_GPU, BACKEND_CP):
+            if backend in handle.payloads:
+                return backend
+    return BACKEND_CP
+
+
+def _place_op(hop: Hop, config: MemphisConfig, op_mem: int) -> str:
+    if hop.shape == (1, 1) and all(h.shape == (1, 1) for h in hop.inputs):
+        # pure scalar arithmetic always runs on the driver
+        return BACKEND_CP
+    sp_ok = config.spark_enabled and spark_supported(hop, config)
+    inputs_on_sp = any(h.placement == BACKEND_SP for h in hop.inputs)
+    if sp_ok and (hop.memory_estimate > op_mem
+                  or (inputs_on_sp and hop.output_bytes > op_mem // 8)):
+        return BACKEND_SP
+    if sp_ok and inputs_on_sp:
+        # aggregates of distributed inputs run as Spark actions even when
+        # the (small) output fits in the driver
+        if hop.opcode in SPARK_AGG_ACTION or hop.opcode in SPARK_AGG_MAP:
+            return BACKEND_SP
+        # everything else follows the memory estimate: small results of
+        # distributed inputs (e.g. a weight update after a cpmm) are
+        # collected and computed locally, exactly like SystemDS — this
+        # also bounds the lazy lineage of iteratively updated variables
+    if (
+        config.gpu_enabled
+        and hop.opcode in GPU_OPCODES
+        and hop.shape[0] * hop.shape[1] >= config.gpu.min_cells
+        and hop.memory_estimate <= op_mem
+        and not inputs_on_sp
+    ):
+        return BACKEND_GPU
+    return BACKEND_CP

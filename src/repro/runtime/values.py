@@ -1,0 +1,105 @@
+"""Runtime value types: matrices and scalars.
+
+The host system is a linear-algebra ML system (SystemDS-style): every
+intermediate is a dense double-precision matrix or a scalar.  Frames
+(categorical data) are encoded as matrices after recoding, matching how
+the paper's pipelines integer-encode categorical features.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.common.costs import DOUBLE_BYTES
+
+
+class MatrixValue:
+    """A dense 2-D double matrix with cached metadata."""
+
+    __slots__ = ("data",)
+
+    def __init__(self, data: np.ndarray) -> None:
+        arr = np.asarray(data, dtype=np.float64)
+        if arr.ndim == 1:
+            arr = arr.reshape(-1, 1)
+        if arr.ndim != 2:
+            raise ValueError(f"matrices must be 2-D, got shape {arr.shape}")
+        self.data = arr
+
+    @property
+    def nrow(self) -> int:
+        return self.data.shape[0]
+
+    @property
+    def ncol(self) -> int:
+        return self.data.shape[1]
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.data.shape  # type: ignore[return-value]
+
+    @property
+    def nbytes(self) -> int:
+        """Worst-case dense size (used as ``s(o)`` by eviction policies)."""
+        return self.nrow * self.ncol * DOUBLE_BYTES
+
+    def copy(self) -> "MatrixValue":
+        return MatrixValue(self.data.copy())
+
+    def __repr__(self) -> str:
+        return f"MatrixValue({self.nrow}x{self.ncol})"
+
+
+class ScalarValue:
+    """A scalar (float, int, bool, or string) runtime value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Union[float, int, bool, str]) -> None:
+        self.value = value
+
+    @property
+    def nbytes(self) -> int:
+        return 8 if not isinstance(self.value, str) else len(self.value)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (1, 1)
+
+    def as_float(self) -> float:
+        return float(self.value)  # type: ignore[arg-type]
+
+    def __repr__(self) -> str:
+        return f"ScalarValue({self.value!r})"
+
+
+Value = Union[MatrixValue, ScalarValue]
+
+
+def as_matrix(value: Value) -> np.ndarray:
+    """Numpy view of a value (scalars become 1x1 matrices)."""
+    if isinstance(value, MatrixValue):
+        return value.data
+    return np.full((1, 1), value.as_float())
+
+
+def make_value(raw: object) -> Value:
+    """Wrap a numpy array or python scalar into a runtime value."""
+    if isinstance(raw, (MatrixValue, ScalarValue)):
+        return raw
+    if isinstance(raw, np.ndarray):
+        return MatrixValue(raw)
+    if isinstance(raw, (float, int, bool, np.floating, np.integer, str)):
+        if isinstance(raw, (np.floating,)):
+            return ScalarValue(float(raw))
+        if isinstance(raw, (np.integer,)):
+            return ScalarValue(int(raw))
+        return ScalarValue(raw)
+    raise TypeError(f"cannot convert {type(raw)!r} to a runtime value")
+
+
+def value_bytes(value: Value) -> int:
+    """Size estimate of any runtime value."""
+    return value.nbytes

@@ -1,0 +1,34 @@
+"""End-to-end ML pipeline workloads of the paper's evaluation (Table 3)."""
+
+from repro.workloads.base import SYSTEMS, WorkloadResult, make_session
+from repro.workloads.clean import PIPELINES, run_clean
+from repro.workloads.en2de import run_en2de
+from repro.workloads.hband import run_hband
+from repro.workloads.hcv import run_hcv
+from repro.workloads.hdrop import run_hdrop
+from repro.workloads.micro import (
+    run_fig2c,
+    run_fig2d,
+    run_fig12b,
+    run_reuse_overhead,
+)
+from repro.workloads.pnmf_wl import run_pnmf
+from repro.workloads.tlvis import run_tlvis
+
+__all__ = [
+    "SYSTEMS",
+    "WorkloadResult",
+    "make_session",
+    "run_hcv",
+    "run_pnmf",
+    "run_hband",
+    "run_clean",
+    "PIPELINES",
+    "run_hdrop",
+    "run_en2de",
+    "run_tlvis",
+    "run_fig2c",
+    "run_fig2d",
+    "run_fig12b",
+    "run_reuse_overhead",
+]

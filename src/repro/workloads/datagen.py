@@ -1,0 +1,139 @@
+"""Synthetic dataset generators matching the paper's datasets (Table 3).
+
+The paper evaluates on MovieLens, APS, KDD98, WMT14, ImageNet, and
+CIFAR-10 plus synthetic matrices.  None of these downloads are available
+offline, so each generator reproduces the *properties that matter for
+lineage-based reuse* (which is data-skew independent, §6.3): shape,
+scale knobs, missing-value rate, categorical cardinalities, duplicate
+rates, and image tensor layout.
+
+Sizes are quoted in "paper gigabytes" and divided by the global
+:data:`repro.common.config.SCALE` factor, so memory-pressure ratios
+(input size vs. operation memory vs. cache sizes) match the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.config import GB, SCALE
+
+
+def scaled_bytes(paper_gb: float) -> int:
+    """Paper-quoted gigabytes -> simulator bytes (scaled)."""
+    return int(paper_gb * GB / SCALE)
+
+
+def rows_for_gb(paper_gb: float, cols: int) -> int:
+    """Row count so that a dense matrix of ``cols`` columns has the
+    scaled size of ``paper_gb`` paper-gigabytes."""
+    return max(scaled_bytes(paper_gb) // (8 * cols), 16)
+
+
+def synthetic_regression(paper_gb: float, cols: int = 100,
+                         seed: int = 1) -> tuple[np.ndarray, np.ndarray]:
+    """Dense feature matrix + noisy linear responses (HCV / HBAND)."""
+    rows = rows_for_gb(paper_gb, cols)
+    rng = np.random.default_rng(seed)
+    X = rng.random((rows, cols))
+    beta = rng.standard_normal((cols, 1))
+    y = X @ beta + 0.1 * rng.standard_normal((rows, 1))
+    return X, y
+
+
+def synthetic_classification(paper_gb: float, cols: int = 100,
+                             num_classes: int = 2,
+                             seed: int = 2) -> tuple[np.ndarray, np.ndarray]:
+    """Features + labels; binary labels in {-1,+1}, else 1..k codes."""
+    rows = rows_for_gb(paper_gb, cols)
+    rng = np.random.default_rng(seed)
+    X = rng.random((rows, cols))
+    w = rng.standard_normal((cols, num_classes))
+    logits = X @ w + 0.1 * rng.standard_normal((rows, num_classes))
+    if num_classes == 2:
+        y = np.where(logits[:, :1] > logits[:, 1:2], 1.0, -1.0)
+        return X, y
+    return X, (np.argmax(logits, axis=1) + 1.0).reshape(-1, 1)
+
+
+def movielens_like(paper_rows: int = 7_000_000, cols: int = 27_000,
+                   seed: int = 3) -> np.ndarray:
+    """MovieLens-style non-negative rating matrix for PNMF.
+
+    The paper integer-encodes and row-replicates 20M ratings into a
+    7M x 27K matrix; we generate a scaled dense low-rank-plus-noise
+    non-negative matrix with the same aspect ratio.
+    """
+    rows = max(paper_rows // SCALE, 64)
+    cols = max(cols // int(SCALE**0.5), 32)
+    rng = np.random.default_rng(seed)
+    rank = 8
+    W = rng.random((rows, rank))
+    H = rng.random((rank, cols))
+    return W @ H + 0.05 * rng.random((rows, cols)) + 0.01
+
+
+def aps_like(scale_factor: int = 1, base_rows: int = 60_000,
+             cols: int = 170, missing_rate: float = 0.006,
+             seed: int = 4) -> tuple[np.ndarray, np.ndarray]:
+    """APS-truck-failure-style table (CLEAN): 60K rows x 170 columns,
+    0.6% missing values, binary labels; ``scale_factor`` replicates rows
+    (the paper scales via row append)."""
+    rows = max(base_rows // SCALE, 32) * scale_factor
+    rng = np.random.default_rng(seed)
+    X = rng.random((rows, cols)) * 10.0
+    # heavy-tailed outliers in a few columns
+    outliers = rng.random((rows, cols)) < 0.01
+    X = X + outliers * rng.random((rows, cols)) * 100.0
+    X[rng.random((rows, cols)) < missing_rate] = np.nan
+    y = np.where(rng.random((rows, 1)) < 0.1, 1.0, -1.0)  # imbalanced
+    return X, y
+
+
+def kdd98_like(paper_rows: int = 95_000, cat_cols: int = 9,
+               num_cols: int = 460, cardinality: int = 12,
+               seed: int = 5) -> tuple[np.ndarray, np.ndarray]:
+    """KDD98-style donation table (HDROP): categorical + numerical."""
+    rows = max(paper_rows // (SCALE // 16), 256)
+    rng = np.random.default_rng(seed)
+    categorical = rng.integers(1, cardinality + 1,
+                               (rows, cat_cols)).astype(float)
+    numerical = rng.gamma(2.0, 2.0, (rows, num_cols))
+    return categorical, numerical
+
+
+def word_sequence(length: int = 200_000, vocab: int = 30_000,
+                  embedding_dim: int = 300, zipf_a: float = 1.4,
+                  seed: int = 6) -> tuple[np.ndarray, np.ndarray]:
+    """WMT14-style word id sequence + pre-trained embeddings (EN2DE).
+
+    Natural-language word frequencies are Zipfian, which produces the
+    duplicate inputs that prediction caching exploits (Clipper [33]).
+    Returns (word_ids, embedding_table).
+    """
+    length = max(length // (SCALE // 8), 512)
+    vocab = max(vocab // (SCALE // 16), 128)
+    dim = max(embedding_dim // 4, 32)
+    rng = np.random.default_rng(seed)
+    ids = rng.zipf(zipf_a, length)
+    ids = np.minimum(ids, vocab) - 1  # 0-based, clamped to vocab
+    table = rng.standard_normal((vocab, dim)) * 0.1
+    return ids, table
+
+
+def image_set(num_images: int = 10_000, hw: int = 32, channels: int = 3,
+              duplicate_rate: float = 0.0,
+              seed: int = 7) -> np.ndarray:
+    """Linearized NCHW image matrix (TLVIS / GPU micro-benchmarks).
+
+    ``duplicate_rate`` controls the fraction of repeated images
+    (identified by pixel content in the paper's ensemble scoring).
+    """
+    n = max(num_images // (SCALE // 16), 64)
+    rng = np.random.default_rng(seed)
+    unique = max(int(n * (1.0 - duplicate_rate)), 1)
+    base = rng.random((unique, channels * hw * hw))
+    if unique >= n:
+        return base[:n]
+    picks = rng.integers(0, unique, n - unique)
+    return np.vstack([base, base[picks]])

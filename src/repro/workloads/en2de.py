@@ -1,0 +1,84 @@
+"""EN2DE: English-to-German translation scoring (paper Fig. 14(c)).
+
+A pre-trained four-FC-layer scorer with ReLU and softmax translates a
+Zipf-distributed word sequence word-by-word on the GPU.  Natural
+language repeats words heavily, so per-word predictions exhibit
+fine-grained prediction-caching potential: MPH reuses scoring results at
+the host (eliminating GPU computation entirely for repeated words),
+MPH-F reuses GPU pointers only, Clipper memoizes predictions at the
+application layer, and PyTorch recycles memory but cannot reuse.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.pytorch_sim import pytorch_config
+from repro.common.config import MemphisConfig
+from repro.core.session import Session
+from repro.ml.nn import MlpModel
+from repro.workloads.base import (
+    scale_overheads,
+    SYSTEMS,
+    WORKLOAD_OVERHEAD_SCALE,
+    WorkloadResult,
+    finish,
+)
+from repro.workloads.datagen import word_sequence
+
+
+def _session_for(system: str) -> Session:
+    if system in ("PyTorch", "PyTorch-Clr"):
+        cfg = pytorch_config()
+    elif system in ("Base-G", "Clipper"):
+        cfg = MemphisConfig.base()
+    else:
+        cfg = SYSTEMS[system]()
+    cfg.gpu_enabled = True
+    cfg.spark_enabled = False
+    cfg.gpu.min_cells = 16
+    scale_overheads(cfg, WORKLOAD_OVERHEAD_SCALE)
+    return Session(cfg)
+
+
+def run_en2de(system: str, length: int | None = None,
+              seed: int = 6) -> WorkloadResult:
+    """Run EN2DE scoring under one system configuration."""
+    ids, table = word_sequence(seed=seed)
+    if length is not None:
+        ids = ids[:length]
+    sess = _session_for(system)
+    dim = table.shape[1]
+    embeddings = sess.read(table, "embeddings_en")
+    model = MlpModel.pretrained(sess, [dim, 96, 96, 64], seed=31)
+
+    # the function output is the final host-side score, so a repeated
+    # word costs exactly one cache probe — "reusing scoring results at
+    # the host, completely eliminating GPU computations" (paper §6.3)
+    score_word = sess.function("score_word")(
+        lambda emb: model.forward(sess, emb).max()
+    )
+
+    clipper_cache: dict[int, float] = {}
+    checksum = 0.0
+    # scoring repeats per duplicate word: the tuning pass assigns a
+    # delay factor so one-off words are never cached (stay recyclable)
+    with sess.block("en2de", execution_frequency=len(ids),
+                    reusable_fraction=0.5):
+        for word_id in ids:
+            wid = int(word_id)
+            if system == "Clipper":
+                # Clipper hashes the raw input features and looks up its
+                # prediction cache on every request
+                sess.clock.advance(15e-6 * WORKLOAD_OVERHEAD_SCALE)
+                if wid in clipper_cache:
+                    checksum += clipper_cache[wid]
+                    continue
+            emb = embeddings[wid:wid + 1, :]
+            if system in ("MPH", "HELIX"):
+                top = score_word(emb).item()
+            else:
+                top = model.forward(sess, emb).max().item()
+            if system == "Clipper":
+                clipper_cache[wid] = top
+            checksum += top
+    return finish("EN2DE", system, {"length": len(ids)}, sess,
+                  metric=checksum / len(ids))

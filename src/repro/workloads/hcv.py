@@ -1,0 +1,54 @@
+"""HCV: grid-search hyper-parameter tuning of cross-validated linear
+regression (paper Fig. 13(a), Table 3 row 1).
+
+Calls cross-validated linRegDS (Example 4.1 at its core) for 10
+regularization parameters; ``t(X) %*% X`` and ``t(X) %*% y`` per fold
+are independent of the parameter and reused across calls.  Inputs above
+~25 paper-GB place the core multiplications on Spark.
+"""
+
+from __future__ import annotations
+
+from repro.ml.linreg import lin_reg_ds, lin_reg_predict, r2_score
+from repro.ml.tuning import kfold_indices
+from repro.workloads.base import WorkloadResult, finish, make_session
+from repro.workloads.datagen import synthetic_regression
+
+DEFAULT_REGS = [10.0 ** (i / 2 - 3) for i in range(10)]
+
+
+def run_hcv(system: str, paper_gb: float, cols: int = 64,
+            folds: int = 3, regs=None, seed: int = 1) -> WorkloadResult:
+    """Run the HCV pipeline under one system configuration."""
+    regs = regs or DEFAULT_REGS
+    X_data, y_data = synthetic_regression(paper_gb, cols, seed)
+    sess = make_session(system)
+    X = sess.read(X_data, "X")
+    y = sess.read(y_data, "y")
+
+    best_reg, best_score = regs[0], float("-inf")
+    with sess.block("hcv", execution_frequency=len(regs) * folds,
+                    reusable_fraction=0.9):
+        for reg in regs:
+            total = 0.0
+            for start, stop in kfold_indices(X.nrow, folds):
+                X_tr, y_tr = _complement(sess, X, y, start, stop)
+                beta = lin_reg_ds(sess, X_tr, y_tr, reg)
+                y_hat = lin_reg_predict(sess, X[start:stop, :], beta)
+                total += r2_score(sess, y[start:stop, :], y_hat).item()
+            score = total / folds
+            if score > best_score:
+                best_reg, best_score = reg, score
+    return finish("HCV", system, {"paper_gb": paper_gb, "folds": folds},
+                  sess, metric=best_score)
+
+
+def _complement(sess, X, y, start, stop):
+    if start == 0:
+        return X[stop:X.nrow, :], y[stop:y.nrow, :]
+    if stop == X.nrow:
+        return X[0:start, :], y[0:start, :]
+    return (
+        sess.rbind(X[0:start, :], X[stop:X.nrow, :]),
+        sess.rbind(y[0:start, :], y[stop:y.nrow, :]),
+    )

@@ -1,0 +1,83 @@
+"""HDROP: dropout-rate tuning of an autoencoder (paper Fig. 14(b)).
+
+Grid search over dropout rates 5%..50%; for each rate the autoencoder
+trains for ``epochs`` epochs of mini-batches, and an input data pipeline
+(normalization + feature-transform map of binning/recoding/one-hot) is
+applied batch-wise in every iteration.  The IDP repeats identically
+across epochs and dropout rates: the feature transformation is reused on
+the host, the normalization on the GPU (paper §6.3).
+
+Baselines: ``Base-C`` (CPU only), ``Base-G`` (CPU+GPU, no reuse),
+``LIMA``, ``CoorDL`` (reuses only the CPU part of the IDP), ``MPH``.
+"""
+
+from __future__ import annotations
+
+from repro.ml.cleaning import normalize
+from repro.ml.nn import Autoencoder
+from repro.ml.transforms import minibatch, transform_encode
+from repro.workloads.base import WorkloadResult, finish, make_session
+from repro.workloads.datagen import kdd98_like
+
+DROPOUT_RATES = [0.05 * i for i in range(1, 11)]  # 5% .. 50%
+
+
+def run_hdrop(system: str, epochs: int = 3, batch_size: int = 256,
+              rates=None, seed: int = 5) -> WorkloadResult:
+    """Run HDROP under one system configuration."""
+    rates = rates or DROPOUT_RATES
+    gpu = system != "Base-C"
+    base_system = {"Base-C": "Base", "Base-G": "Base",
+                   "CoorDL": "Base"}.get(system, system)
+    sess = make_session(base_system, gpu=gpu, spark=False)
+    sess.config.gpu.min_cells = 64
+
+    cat_data, num_data = kdd98_like(seed=seed)
+    categorical = sess.read(cat_data, "categorical")
+    numerical = sess.read(num_data, "numerical")
+    n = cat_data.shape[0]
+    batches = max(n // batch_size, 1)
+
+    coordl_cache: dict[int, object] = {}
+    best_rate, best_loss = rates[0], float("inf")
+    for rate in rates:
+        ae = Autoencoder.init(sess, _encoded_width(sess, categorical,
+                                                   numerical), seed=seed)
+        loss = float("inf")
+        with sess.block("hdrop", execution_frequency=epochs * batches,
+                        reusable_fraction=0.5):
+            for epoch in range(epochs):
+                for b in range(batches):
+                    Xb = _input_pipeline(
+                        sess, categorical, numerical, b, batch_size,
+                        system, coordl_cache,
+                    )
+                    step_seed = hash((round(rate, 3), epoch, b)) % 10_000
+                    loss = ae.step(sess, Xb, rate, step_seed).item()
+        if loss < best_loss:
+            best_rate, best_loss = rate, loss
+    return finish("HDROP", system,
+                  {"epochs": epochs, "batch_size": batch_size}, sess,
+                  metric=best_loss)
+
+
+def _encoded_width(sess, categorical, numerical) -> int:
+    """Feature width after the transform map (computed once)."""
+    sample = transform_encode(sess, categorical[0:4, :], numerical[0:4, :])
+    return sample.ncol
+
+
+def _input_pipeline(sess, categorical, numerical, b, batch_size,
+                    system, coordl_cache):
+    """The batch-wise IDP: transform map (CPU) + normalization (GPU)."""
+    if system == "CoorDL" and b in coordl_cache:
+        # CoorDL caches the CPU component of the IDP at the framework
+        # level; normalization still re-executes every epoch
+        encoded = coordl_cache[b]
+    else:
+        cat_b = minibatch(categorical, b, batch_size)
+        num_b = minibatch(numerical, b, batch_size)
+        encoded = transform_encode(sess, cat_b, num_b).evaluate()
+        if system == "CoorDL":
+            coordl_cache[b] = encoded
+    return normalize(sess, encoded)

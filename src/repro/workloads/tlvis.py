@@ -1,0 +1,127 @@
+"""TLVIS: transfer-learning feature extraction (paper Fig. 14(d), 9(b)).
+
+Three pre-trained CNNs (AlexNet/VGG16/ResNet18 style) extract several
+layer outputs over a shared test set; a linear-classifier proxy ranks
+the (model, layer) pairs.  Extracting consecutive layers of one model
+repeats the frozen convolution prefix — the reuse target — while
+switching models shifts the allocation-size pattern, triggering
+MEMPHIS's eviction injection (``evict(100)`` between models).
+
+Baselines: ``Base-G``, ``VISTA`` (hand-CSE across a model's layer
+pipelines), ``PyTorch`` (fails without manual cache clearing on small
+devices), ``PyTorch-Clr`` (manual ``empty_cache()`` between models).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.pytorch_sim import pytorch_config
+from repro.common.config import MemphisConfig
+from repro.common.errors import GpuOutOfMemoryError
+from repro.core.session import Session
+from repro.ml.nn import alexnet, resnet18, vgg16
+from repro.workloads.base import (
+    scale_overheads,
+    SYSTEMS,
+    WORKLOAD_OVERHEAD_SCALE,
+    WorkloadResult,
+    finish,
+)
+from repro.workloads.datagen import image_set
+
+
+def _session_for(system: str, device_memory: int | None) -> Session:
+    if system in ("PyTorch", "PyTorch-Clr"):
+        cfg = pytorch_config()
+    elif system in ("Base-G", "VISTA"):
+        cfg = MemphisConfig.base()
+    else:
+        cfg = SYSTEMS[system]()
+    cfg.gpu_enabled = True
+    cfg.spark_enabled = False
+    cfg.gpu.min_cells = 64
+    if device_memory is not None:
+        cfg.gpu.device_memory = device_memory
+    scale_overheads(cfg, WORKLOAD_OVERHEAD_SCALE)
+    return Session(cfg)
+
+
+def run_tlvis(system: str, num_images: int = 10_000, hw: int = 32,
+              batch_size: int = 32, device_memory: int | None = None,
+              seed: int = 7) -> WorkloadResult:
+    """Run TLVIS under one system configuration."""
+    images = image_set(num_images, hw=hw, seed=seed)
+    sess = _session_for(system, device_memory)
+    models = [
+        alexnet(hw).build(sess, seed=17),
+        vgg16(hw).build(sess, seed=23),
+        resnet18(hw).build(sess, seed=29),
+    ]
+    n = images.shape[0]
+    batches = max(n // batch_size, 1)
+    params = {"num_images": n, "hw": hw}
+
+    ranking = []
+    try:
+        for model in models:
+            layer_choices = list(range(len(model.fcs) + 1))
+            with sess.loop(f"model_{model.name}"), \
+                    sess.block(f"extract_{model.name}",
+                               execution_frequency=len(layer_choices),
+                               reusable_fraction=0.85):
+                if system == "VISTA":
+                    scores = _extract_vista(sess, model, images, batches,
+                                            batch_size, layer_choices)
+                else:
+                    scores = _extract_plain(sess, model, images, batches,
+                                            batch_size, layer_choices)
+            ranking.extend(
+                (score, model.name, layer) for layer, score in scores
+            )
+            if system == "PyTorch-Clr":
+                sess.gpu.memory.empty_cache(1.0)
+    except GpuOutOfMemoryError as err:
+        return finish("TLVIS", system, params, sess, failed=str(err))
+    ranking.sort(key=lambda t: -t[0])
+    return finish("TLVIS", system, params, sess, metric=ranking[0][0])
+
+
+def _extract_plain(sess, model, images, batches, batch_size,
+                   layer_choices):
+    """Per (layer, batch) extraction; conv prefixes repeat across layers."""
+    scores = []
+    for layer in layer_choices:
+        total = 0.0
+        for b in range(batches):
+            batch = sess.read(
+                images[b * batch_size:(b + 1) * batch_size], f"img{b}"
+            )
+            feats = model.extract_features(sess, batch, upto_fc=layer)
+            total += _proxy_score(feats)
+        scores.append((layer, total / batches))
+    return scores
+
+
+def _extract_vista(sess, model, images, batches, batch_size,
+                   layer_choices):
+    """VISTA's CSE: one forward per batch, all layer outputs shared."""
+    totals = {layer: 0.0 for layer in layer_choices}
+    for b in range(batches):
+        batch = sess.read(
+            images[b * batch_size:(b + 1) * batch_size], f"img{b}"
+        )
+        conv = model.extract_features(sess, batch, upto_fc=0)
+        totals[0] += _proxy_score(conv)
+        h = conv
+        for i, W in enumerate(model.fcs):
+            h = (h @ W).relu().evaluate()
+            totals[i + 1] += _proxy_score(h)
+    return [(layer, total / batches) for layer, total in totals.items()]
+
+
+def _proxy_score(feats) -> float:
+    """Linear-classifier proxy for transferability (LEEP-style).
+
+    The mean activation magnitude serves as the ranking statistic; it
+    exercises the same feature-materialization path the paper measures.
+    """
+    return feats.abs().mean().item()

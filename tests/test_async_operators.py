@@ -1,0 +1,127 @@
+"""Tests for the asynchronous operators (prefetch/broadcast, §5.1) and
+operator ordering at the session level."""
+
+import numpy as np
+import pytest
+
+from repro import MemphisConfig, Session
+from repro.common.simclock import CLUSTER, HOST
+
+RNG = np.random.default_rng(23)
+
+
+def distributed_session(**flags):
+    cfg = MemphisConfig.memphis()
+    cfg.cpu.operation_memory_bytes = 64 * 1024
+    for key, value in flags.items():
+        setattr(cfg, key, value)
+    return cfg
+
+
+class TestPrefetch:
+    def test_prefetch_overlaps_jobs(self):
+        """Two independent Spark chains collected by one consumer: the
+        async version overlaps the jobs and beats the sync version."""
+        def run(async_on: bool) -> float:
+            cfg = distributed_session(enable_async_ops=async_on,
+                                      enable_max_parallelize=async_on)
+            cfg.reuse_mode = cfg.reuse_mode  # keep MPH reuse either way
+            sess = Session(cfg)
+            X = sess.read(RNG.random((20_000, 16)), "X")
+            Y = sess.read(RNG.random((20_000, 16)), "Y")
+            a = (X * 2.0).sum()
+            b = (Y * 3.0).sum()
+            (a + b).compute()
+            return sess.elapsed()
+
+        assert run(True) < run(False)
+
+    def test_prefetch_results_are_correct(self):
+        cfg = distributed_session()
+        sess = Session(cfg)
+        data = RNG.random((10_000, 8))
+        X = sess.read(data, "X")
+        out = ((X * 2.0).t() @ (X * 2.0)).compute()
+        assert np.allclose(out, (2 * data).T @ (2 * data))
+        assert sess.stats.get("async/prefetch_issued") > 0
+
+    def test_prefetched_result_cached_for_reuse(self):
+        """The prefetch thread PUTs the fetched data once available."""
+        cfg = distributed_session()
+        sess = Session(cfg)
+        X = sess.read(RNG.random((10_000, 8)), "X")
+        (X.t() @ X).compute()
+        jobs = sess.stats.get("spark/jobs")
+        (X.t() @ X).compute()
+        assert sess.stats.get("spark/jobs") == jobs  # fully reused
+
+    def test_cluster_timeline_advances_independently(self):
+        cfg = distributed_session()
+        sess = Session(cfg)
+        X = sess.read(RNG.random((10_000, 8)), "X")
+        (X * 2.0).evaluate()  # lazy: no job yet
+        assert sess.clock.now(CLUSTER) == 0.0
+        (X * 2.0).sum().compute()
+        assert sess.clock.now(CLUSTER) > 0.0
+
+
+class TestBroadcastRewrite:
+    def test_small_local_results_broadcast_async(self):
+        cfg = distributed_session()
+        sess = Session(cfg)
+        X = sess.read(RNG.random((10_000, 16)), "X")
+        B = sess.read(RNG.random((16, 4)), "B")
+        # B * 2 is a small CP op feeding a Spark matmul
+        out = (X @ (B * 2.0)).compute()
+        assert sess.stats.get("async/broadcast_issued") > 0
+        assert out.shape == (10_000, 4)
+
+    def test_no_async_broadcast_when_disabled(self):
+        cfg = distributed_session(enable_async_ops=False,
+                                  enable_max_parallelize=False)
+        sess = Session(cfg)
+        X = sess.read(RNG.random((10_000, 16)), "X")
+        B = sess.read(RNG.random((16, 4)), "B")
+        (X @ (B * 2.0)).compute()
+        assert sess.stats.get("async/broadcast_issued") == 0
+
+
+class TestLazyGc:
+    def test_broadcasts_destroyed_after_materialization(self):
+        cfg = distributed_session()
+        sess = Session(cfg)
+        X = sess.read(RNG.random((10_000, 16)), "X")
+        B = sess.read(RNG.random((16, 4)), "B")
+        for _ in range(6):  # reuse drives async materialization + GC
+            (X @ B).sum().compute()
+        assert sess.stats.get("spark/dangling_cleaned") > 0
+
+    def test_driver_memory_reclaimed(self):
+        cfg = distributed_session()
+        sess = Session(cfg)
+        X = sess.read(RNG.random((10_000, 16)), "X")
+        B = sess.read(RNG.random((16, 4)), "B")
+        for _ in range(6):
+            (X @ B).sum().compute()
+        retained = sess.spark_context.driver_retained_bytes
+        broadcasts = sess.stats.get("spark/broadcasts")
+        cleaned = sess.stats.get("spark/dangling_cleaned")
+        assert cleaned > 0
+        assert retained < broadcasts * 16 * 4 * 8  # some were destroyed
+
+
+class TestSessionReporting:
+    def test_report_lists_counters(self):
+        sess = Session(MemphisConfig.memphis())
+        X = sess.read(RNG.random((20, 4)), "X")
+        (X.t() @ X).sum().compute()
+        report = sess.report()
+        assert "cache/" in report
+        assert "runtime/instructions_executed" in report
+
+    def test_elapsed_monotone(self):
+        sess = Session(MemphisConfig.memphis())
+        X = sess.read(RNG.random((20, 4)), "X")
+        t0 = sess.elapsed()
+        (X @ X.t()).sum().compute()
+        assert sess.elapsed() > t0

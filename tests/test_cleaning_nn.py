@@ -1,0 +1,185 @@
+"""Tests for cleaning primitives, feature transforms, and NN layers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import MemphisConfig, Session
+from repro.ml import (
+    Autoencoder,
+    MlpModel,
+    alexnet,
+    equi_width_bin,
+    impute_by_mean,
+    impute_by_mode,
+    minibatch,
+    normalize,
+    one_hot,
+    outlier_by_iqr,
+    pca_project,
+    recode,
+    resnet18,
+    scale,
+    transform_encode,
+    under_sampling,
+    vgg16,
+)
+
+RNG = np.random.default_rng(9)
+
+
+@pytest.fixture()
+def sess():
+    return Session(MemphisConfig.memphis())
+
+
+class TestCleaning:
+    def test_impute_by_mean_fills_nans(self, sess):
+        data = RNG.random((50, 4))
+        data[5, 1] = np.nan
+        data[10, 2] = np.nan
+        out = impute_by_mean(sess, sess.read(data, "X")).compute()
+        assert not np.isnan(out).any()
+        observed_mean = np.nanmean(data[:, 1])
+        assert out[5, 1] == pytest.approx(observed_mean, rel=0.05)
+
+    def test_impute_preserves_observed(self, sess):
+        data = RNG.random((30, 3))
+        data[0, 0] = np.nan
+        out = impute_by_mean(sess, sess.read(data, "X")).compute()
+        assert np.allclose(out[1:], data[1:])
+
+    def test_impute_by_mode_integer_codes(self, sess):
+        data = RNG.integers(1, 4, (60, 2)).astype(float)
+        data[3, 0] = np.nan
+        out = impute_by_mode(sess, sess.read(data, "X")).compute()
+        assert not np.isnan(out).any()
+        assert out[3, 0] == np.round(out[3, 0])  # integer-valued
+
+    def test_outlier_by_iqr_winsorizes(self, sess):
+        data = RNG.random((200, 2))
+        data[0, 0] = 1000.0  # extreme outlier
+        out = outlier_by_iqr(sess, sess.read(data, "X")).compute()
+        assert out[0, 0] < 10.0
+        # non-outliers survive
+        assert np.allclose(out[1:, :], data[1:, :], atol=1.0)
+
+    def test_scale_zero_mean_unit_variance(self, sess):
+        out = scale(sess, sess.read(RNG.random((500, 3)) * 7 + 3, "X"))
+        data = out.compute()
+        assert np.allclose(data.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(data.std(axis=0), 1.0, atol=1e-6)
+
+    def test_normalize_range(self, sess):
+        out = normalize(sess, sess.read(RNG.random((100, 4)) * 9 - 4, "X"))
+        data = out.compute()
+        assert data.min() >= -1e-9
+        assert data.max() <= 1.0 + 1e-9
+
+    def test_under_sampling_reduces_rows(self, sess):
+        X = sess.read(RNG.random((100, 3)), "X")
+        y = sess.read(RNG.random((100, 1)), "y")
+        Xs, ys = under_sampling(sess, X, y, ratio=0.4)
+        assert Xs.nrow == 60
+        assert ys.nrow == 60
+
+    def test_pca_projects_to_k(self, sess):
+        out = pca_project(sess, sess.read(RNG.random((80, 10)), "X"), 3)
+        assert out.compute().shape == (80, 3)
+
+    def test_pca_captures_dominant_direction(self, sess):
+        # data with one dominant direction
+        base = RNG.standard_normal((300, 1)) @ np.array([[5.0, 5.0, 0.1]])
+        noise = 0.01 * RNG.standard_normal((300, 3))
+        out = pca_project(sess, sess.read(base + noise, "X"), 1).compute()
+        assert out.var() > 10.0  # projected variance dominated by signal
+
+
+class TestTransforms:
+    def test_recode_dense_codes(self, sess):
+        data = np.array([[5.0], [2.0], [5.0], [9.0]])
+        out = recode(sess, sess.read(data, "X")).compute()
+        assert np.allclose(out, [[2], [1], [2], [3]])
+
+    def test_bin_bounds(self, sess):
+        out = equi_width_bin(
+            sess, sess.read(RNG.random((100, 3)) * 10, "X"), num_bins=5
+        ).compute()
+        assert out.min() >= 1.0
+        assert out.max() <= 5.0
+
+    def test_one_hot_rows_sum_to_one(self, sess):
+        codes = sess.read(np.array([[1.0], [3.0], [2.0]]), "c")
+        out = one_hot(sess, codes, 3).compute()
+        assert np.allclose(out.sum(axis=1), 1.0)
+        assert out[1, 2] == 1.0
+
+    def test_transform_encode_width(self, sess):
+        cat = sess.read(RNG.integers(1, 4, (50, 2)).astype(float), "cat")
+        num = sess.read(RNG.random((50, 3)), "num")
+        out = transform_encode(sess, cat, num, num_bins=4, one_hot_width=8)
+        assert out.compute().shape == (50, 2 + 3 + 8)
+
+    def test_minibatch_slices(self, sess):
+        data = np.arange(100, dtype=float).reshape(20, 5)
+        X = sess.read(data, "X")
+        b1 = minibatch(X, 1, 8).compute()
+        assert np.allclose(b1, data[8:16])
+        tail = minibatch(X, 2, 8).compute()
+        assert tail.shape == (4, 5)  # clipped final batch
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=2, max_value=30), st.integers(min_value=1, max_value=5))
+def test_property_recode_codes_contiguous(rows, cols):
+    sess = Session(MemphisConfig.base())
+    data = np.random.default_rng(rows).integers(0, 5, (rows, cols)) * 3.0
+    out = recode(sess, sess.read(data, "X")).compute()
+    for j in range(cols):
+        codes = np.unique(out[:, j])
+        assert np.allclose(codes, np.arange(1, len(codes) + 1))
+
+
+class TestNeuralNets:
+    def test_mlp_forward_shapes_and_softmax(self, sess):
+        model = MlpModel.pretrained(sess, [10, 16, 8], seed=1)
+        out = model.forward(sess, sess.read(RNG.random((4, 10)), "X"))
+        data = out.compute()
+        assert data.shape == (4, 8)
+        assert np.allclose(data.sum(axis=1), 1.0)
+
+    def test_autoencoder_roundtrip_shapes(self, sess):
+        ae = Autoencoder.init(sess, num_features=20, h1=12, h2=2)
+        X = sess.read(RNG.random((16, 20)), "X")
+        recon = ae.forward(sess, X, dropout_rate=0.2, dropout_seed=1)
+        assert recon.compute().shape == (16, 20)
+
+    def test_autoencoder_step_reduces_loss(self, sess):
+        ae = Autoencoder.init(sess, num_features=12, h1=8, h2=2)
+        X = sess.read(RNG.random((32, 12)), "X")
+        losses = [
+            ae.step(sess, X, dropout_rate=0.0, dropout_seed=0, lr=0.05).item()
+            for _ in range(10)
+        ]
+        assert losses[-1] < losses[0]
+
+    @pytest.mark.parametrize("factory", [alexnet, vgg16, resnet18])
+    def test_cnn_extractors_run(self, sess, factory):
+        model = factory(input_hw=16).build(sess)
+        images = sess.read(RNG.random((4, 3 * 16 * 16)), "imgs")
+        feats = model.extract_features(sess, images)
+        assert feats.compute().shape[0] == 4
+        probs = model.score(sess, images).compute()
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_cnn_layer_prefix_selection(self, sess):
+        model = alexnet(input_hw=16).build(sess)
+        images = sess.read(RNG.random((2, 3 * 16 * 16)), "imgs")
+        conv_only = model.extract_features(sess, images, upto_fc=0)
+        with_fc = model.extract_features(sess, images, upto_fc=1)
+        assert conv_only.ncol != with_fc.ncol
+
+    def test_pretrained_weights_deterministic(self, sess):
+        m1 = alexnet(input_hw=16).build(sess, seed=5)
+        m2 = alexnet(input_hw=16).build(sess, seed=5)
+        assert np.allclose(m1.filters[0].compute(), m2.filters[0].compute())

@@ -1,0 +1,32 @@
+"""Tests for the harness CLI (`python -m repro.harness`)."""
+
+import pytest
+
+from repro.harness.__main__ import EXPERIMENTS, main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig2c", "hcv", "tlvis", "table2"):
+            assert name in out
+
+    def test_every_benchmark_has_a_cli_entry(self):
+        # one CLI entry per experiment of the DESIGN.md index
+        expected = {
+            "fig2c", "fig2d", "fig11a", "fig11b", "fig12a", "fig12b",
+            "hcv", "pnmf", "hband", "clean", "hdrop", "en2de", "tlvis",
+            "table2", "ablation-policies", "ablation-ordering",
+        }
+        assert expected <= set(EXPERIMENTS)
+
+    def test_run_single_experiment(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert "Spark" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["nonsense"])

@@ -1,0 +1,103 @@
+"""Tests for the analytic cost model and configuration presets."""
+
+from repro.common.config import (
+    GB,
+    EvictionPolicyName,
+    MemphisConfig,
+    ReuseMode,
+    SparkConfig,
+)
+from repro.common.costs import (
+    compute_time,
+    matrix_bytes,
+    op_flops,
+    transfer_time,
+)
+
+
+class TestCostModel:
+    def test_matrix_bytes_dense(self):
+        assert matrix_bytes(100, 10) == 100 * 10 * 8
+
+    def test_matrix_bytes_sparsity_floor(self):
+        # very sparse matrices still cost at least 5% of dense
+        assert matrix_bytes(100, 100, sparsity=0.0001) == int(
+            100 * 100 * 8 * 0.05
+        )
+
+    def test_matmul_flops(self):
+        assert op_flops("ba+*", [(10, 20), (20, 30)], (10, 30)) == \
+            2.0 * 10 * 20 * 30
+
+    def test_solve_cubic(self):
+        small = op_flops("solve", [(10, 10), (10, 1)], (10, 1))
+        large = op_flops("solve", [(20, 20), (20, 1)], (20, 1))
+        assert large > 7 * small  # ~n^3 scaling
+
+    def test_elementwise_linear_in_output(self):
+        assert op_flops("+", [(10, 10), (10, 10)], (10, 10)) == 100.0
+
+    def test_transcendental_more_expensive(self):
+        cheap = op_flops("+", [(10, 10)], (10, 10))
+        costly = op_flops("exp", [(10, 10)], (10, 10))
+        assert costly == 20 * cheap
+
+    def test_aggregate_counts_input_cells(self):
+        assert op_flops("uak+", [(100, 50)], (1, 1)) == 5000.0
+
+    def test_unknown_opcode_defaults(self):
+        assert op_flops("mystery", [(5, 5)], (5, 5)) == 25.0
+
+    def test_transfer_time(self):
+        assert transfer_time(10 * GB, 10 * GB) == 1.0
+        assert transfer_time(0, 10 * GB, latency_s=0.5) == 0.5
+
+    def test_compute_time_roofline(self):
+        # memory-bound when bytes dominate
+        t = compute_time(1.0, 1e12, nbytes_touched=10**9,
+                         mem_bandwidth_bytes_per_s=1e9)
+        assert t == 1.0
+
+
+class TestConfigPresets:
+    def test_base_disables_everything(self):
+        cfg = MemphisConfig.base()
+        assert cfg.reuse_mode is ReuseMode.NONE
+        assert not cfg.enable_async_ops
+        assert not cfg.enable_checkpoint_rewrite
+
+    def test_base_async_only_async(self):
+        cfg = MemphisConfig.base_async()
+        assert cfg.reuse_mode is ReuseMode.NONE
+        assert cfg.enable_async_ops
+        assert cfg.enable_max_parallelize
+
+    def test_lima_local_only(self):
+        assert MemphisConfig.lima().reuse_mode is ReuseMode.LOCAL_ONLY
+
+    def test_helix_coarse_only(self):
+        assert MemphisConfig.helix().reuse_mode is ReuseMode.COARSE_ONLY
+
+    def test_memphis_full(self):
+        cfg = MemphisConfig.memphis()
+        assert cfg.reuse_mode is ReuseMode.FULL
+        assert cfg.enable_async_ops
+
+    def test_memphis_no_async(self):
+        cfg = MemphisConfig.memphis_no_async()
+        assert cfg.reuse_mode is ReuseMode.FULL
+        assert not cfg.enable_async_ops
+
+    def test_fine_only_mode(self):
+        cfg = MemphisConfig.memphis_fine_only()
+        assert cfg.reuse_mode is ReuseMode.OPERATOR_ONLY
+
+    def test_spark_memory_regions(self):
+        spark = SparkConfig()
+        assert spark.storage_memory + spark.execution_memory == int(
+            spark.executor_memory * spark.unified_memory_fraction
+        )
+
+    def test_default_policy_is_cost_size(self):
+        cfg = MemphisConfig()
+        assert cfg.cache.policy is EvictionPolicyName.COST_SIZE

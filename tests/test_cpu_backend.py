@@ -1,0 +1,252 @@
+"""Tests for CPU kernels and the buffer pool."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.backends.cpu import BufferPool, CpuBackend, kernels
+from repro.common.config import CpuConfig
+from repro.common.errors import BackendError, BufferPoolError
+from repro.common.simclock import SimClock
+from repro.common.stats import BUFFERPOOL_EVICTIONS, Stats
+from repro.runtime.values import MatrixValue, ScalarValue
+
+
+def run(opcode, inputs, attrs=None):
+    return kernels.execute(opcode, inputs, attrs or {})
+
+
+def mat(arr):
+    return MatrixValue(np.asarray(arr, dtype=float))
+
+
+class TestKernels:
+    def test_binary_matrix_matrix(self):
+        out = run("+", [mat([[1, 2]]), mat([[3, 4]])])
+        assert np.allclose(out.data, [[4, 6]])
+
+    def test_binary_matrix_scalar(self):
+        out = run("*", [mat([[1, 2]]), ScalarValue(3.0)])
+        assert np.allclose(out.data, [[3, 6]])
+
+    def test_binary_scalar_scalar(self):
+        out = run("+", [ScalarValue(1.0), ScalarValue(2.0)])
+        assert isinstance(out, ScalarValue)
+        assert out.value == 3.0
+
+    def test_comparison_yields_indicator(self):
+        out = run(">", [mat([[1, 5]]), ScalarValue(2.0)])
+        assert np.allclose(out.data, [[0, 1]])
+
+    def test_matmul(self):
+        a, b = np.arange(6).reshape(2, 3), np.arange(12).reshape(3, 4)
+        out = run("ba+*", [mat(a), mat(b)])
+        assert np.allclose(out.data, a @ b)
+
+    def test_transpose(self):
+        out = run("r'", [mat([[1, 2], [3, 4]])])
+        assert np.allclose(out.data, [[1, 3], [2, 4]])
+
+    def test_solve(self):
+        a = np.array([[2.0, 0.0], [0.0, 4.0]])
+        b = np.array([[2.0], [8.0]])
+        out = run("solve", [mat(a), mat(b)])
+        assert np.allclose(out.data, [[1.0], [2.0]])
+
+    def test_solve_singular_falls_back_to_lstsq(self):
+        a = np.ones((2, 2))
+        b = np.array([[2.0], [2.0]])
+        out = run("solve", [mat(a), mat(b)])
+        assert np.allclose(a @ out.data, b)
+
+    def test_aggregates(self):
+        m = mat([[1, 2], [3, 4]])
+        assert run("uak+", [m]).value == 10.0
+        assert np.allclose(run("uark+", [m]).data, [[3], [7]])
+        assert np.allclose(run("uack+", [m]).data, [[4, 6]])
+        assert run("uamean", [m]).value == 2.5
+        assert run("uamax", [m]).value == 4.0
+        assert run("uamin", [m]).value == 1.0
+
+    def test_row_argmax_one_indexed(self):
+        out = run("uarimax", [mat([[1, 9, 2], [8, 1, 1]])])
+        assert np.allclose(out.data, [[2], [1]])
+
+    def test_rand_deterministic_by_seed(self):
+        attrs = {"rows": 4, "cols": 3, "seed": 7}
+        a = run("rand", [], attrs)
+        b = run("rand", [], attrs)
+        assert np.allclose(a.data, b.data)
+        c = run("rand", [], {**attrs, "seed": 8})
+        assert not np.allclose(a.data, c.data)
+
+    def test_rand_range_and_sparsity(self):
+        out = run("rand", [], {"rows": 100, "cols": 10, "min": 2, "max": 3,
+                               "seed": 1, "sparsity": 0.5})
+        nonzero = out.data[out.data != 0]
+        assert ((nonzero >= 2) & (nonzero <= 3)).all()
+        assert 0.3 < (out.data != 0).mean() < 0.7
+
+    def test_seq(self):
+        out = run("seq", [], {"from": 1, "to": 5, "incr": 2})
+        assert np.allclose(out.data, [[1], [3], [5]])
+
+    def test_right_index_one_based(self):
+        m = mat(np.arange(20).reshape(4, 5))
+        out = run("rightIndex", [m], {"rl": 2, "ru": 3, "cl": 1, "cu": 2})
+        assert np.allclose(out.data, [[5, 6], [10, 11]])
+
+    def test_left_index(self):
+        m = mat(np.zeros((3, 3)))
+        out = run("leftIndex", [m, mat([[1, 2]])], {"rl": 2, "cl": 2})
+        assert out.data[1, 1] == 1 and out.data[1, 2] == 2
+
+    def test_cbind_rbind(self):
+        a, b = mat([[1], [2]]), mat([[3], [4]])
+        assert run("cbind", [a, b]).shape == (2, 2)
+        assert run("rbind", [a, b]).shape == (4, 1)
+
+    def test_table_one_hot(self):
+        rows = mat([[1], [2], [3]])
+        codes = mat([[2], [1], [2]])
+        out = run("table", [rows, codes], {"rows": 3, "cols": 2})
+        assert np.allclose(out.data, [[0, 1], [1, 0], [0, 1]])
+
+    def test_replace_nan(self):
+        m = mat([[1, np.nan], [np.nan, 4]])
+        out = run("replace", [m], {"pattern": float("nan"), "replacement": 0})
+        assert np.allclose(out.data, [[1, 0], [0, 4]])
+
+    def test_softmax_rows_sum_to_one(self):
+        out = run("softmax", [mat(np.random.default_rng(0).random((5, 4)))])
+        assert np.allclose(out.data.sum(axis=1), 1.0)
+
+    def test_dropout_deterministic_and_scaled(self):
+        m = mat(np.ones((100, 100)))
+        a = run("dropout", [m], {"rate": 0.5, "seed": 3})
+        b = run("dropout", [m], {"rate": 0.5, "seed": 3})
+        assert np.allclose(a.data, b.data)
+        # inverted dropout preserves expectation
+        assert abs(a.data.mean() - 1.0) < 0.05
+
+    def test_conv2d_matches_direct(self):
+        rng = np.random.default_rng(0)
+        n, c, h, w, k, r, s = 2, 3, 8, 8, 4, 3, 3
+        x = rng.random((n, c, h, w))
+        f = rng.random((k, c, r, s))
+        out = run("conv2d", [mat(x.reshape(n, -1)), mat(f.reshape(k, -1))],
+                  {"N": n, "C": c, "H": h, "W": w, "K": k, "R": r, "S": s})
+        # direct convolution reference
+        hout = wout = h - r + 1
+        ref = np.zeros((n, k, hout, wout))
+        for i in range(hout):
+            for j in range(wout):
+                patch = x[:, :, i:i + r, j:j + s].reshape(n, -1)
+                ref[:, :, i, j] = patch @ f.reshape(k, -1).T
+        assert np.allclose(out.data, ref.reshape(n, -1))
+
+    def test_maxpool(self):
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        out = run("maxpool", [mat(x.reshape(1, -1))],
+                  {"N": 1, "C": 1, "H": 4, "W": 4, "R": 2, "S": 2, "stride": 2})
+        assert np.allclose(out.data, [[5, 7, 13, 15]])
+
+    def test_unknown_opcode_raises(self):
+        with pytest.raises(BackendError):
+            run("frobnicate", [mat([[1]])])
+
+
+@settings(max_examples=40, deadline=None)
+@given(hnp.arrays(np.float64, hnp.array_shapes(min_dims=2, max_dims=2,
+                                               min_side=1, max_side=8),
+                  elements=st.floats(-100, 100)))
+def test_property_transpose_involution(arr):
+    once = run("r'", [mat(arr)])
+    twice = run("r'", [once])
+    assert np.allclose(twice.data, arr)
+
+
+@settings(max_examples=40, deadline=None)
+@given(hnp.arrays(np.float64, (4, 4), elements=st.floats(-10, 10)))
+def test_property_relu_idempotent(arr):
+    once = run("relu", [mat(arr)])
+    twice = run("relu", [once])
+    assert np.allclose(once.data, twice.data)
+    assert (once.data >= 0).all()
+
+
+class TestCpuBackend:
+    def test_charges_time(self):
+        clock, stats = SimClock(), Stats()
+        backend = CpuBackend(CpuConfig(), clock, stats)
+        backend.execute("+", [mat([[1]]), mat([[2]])], {})
+        assert clock.now() > 0
+        assert stats.get("runtime/instructions_executed") == 1
+
+    def test_bigger_ops_cost_more(self):
+        clock, stats = SimClock(), Stats()
+        backend = CpuBackend(CpuConfig(), clock, stats)
+        a = mat(np.ones((500, 500)))
+        backend.execute("ba+*", [a, a], {})
+        t1 = clock.now()
+        big = mat(np.ones((1000, 1000)))
+        backend.execute("ba+*", [big, big], {})
+        assert clock.now() - t1 > t1
+
+
+class TestBufferPool:
+    def _pool(self, capacity=1000):
+        cfg = CpuConfig(buffer_pool_bytes=capacity)
+        return BufferPool(cfg, SimClock(), Stats()), cfg
+
+    def test_put_get(self):
+        pool, _ = self._pool()
+        value = mat(np.ones((5, 5)))  # 200 bytes
+        pool.put(1, value)
+        assert pool.get(1) is value
+
+    def test_eviction_to_disk_and_restore(self):
+        pool, _ = self._pool(capacity=600)
+        a, b, c = (mat(np.ones((5, 5))) for _ in range(3))
+        pool.put(1, a)
+        pool.put(2, b)
+        pool.put(3, c)  # evicts block 1 (LRU)
+        assert pool.in_memory_bytes <= 600
+        restored = pool.get(1)  # restore from disk, evicting another
+        assert restored is a
+
+    def test_pinned_blocks_survive(self):
+        pool, _ = self._pool(capacity=600)
+        pool.put(1, mat(np.ones((5, 5))))
+        pool.pin(1)
+        pool.put(2, mat(np.ones((5, 5))))
+        pool.put(3, mat(np.ones((5, 5))))  # must evict 2, not pinned 1
+        stats_pool = pool._blocks
+        assert not stats_pool[1].on_disk
+
+    def test_oversized_block_rejected(self):
+        pool, _ = self._pool(capacity=100)
+        with pytest.raises(BufferPoolError):
+            pool.put(1, mat(np.ones((10, 10))))
+
+    def test_all_pinned_exhaustion(self):
+        pool, _ = self._pool(capacity=400)
+        pool.put(1, mat(np.ones((5, 5))))
+        pool.pin(1)
+        pool.put(2, mat(np.ones((5, 5))))
+        pool.pin(2)
+        with pytest.raises(BufferPoolError):
+            pool.put(3, mat(np.ones((5, 5))))
+
+    def test_unknown_block(self):
+        pool, _ = self._pool()
+        with pytest.raises(BufferPoolError):
+            pool.get(99)
+
+    def test_remove_frees_memory(self):
+        pool, _ = self._pool()
+        pool.put(1, mat(np.ones((5, 5))))
+        used = pool.in_memory_bytes
+        pool.remove(1)
+        assert pool.in_memory_bytes == used - 200

@@ -1,0 +1,129 @@
+"""Tests for the data generators and the reporting harness."""
+
+import numpy as np
+import pytest
+
+from repro.common.config import GB, SCALE
+from repro.harness.report import (
+    check_metrics_agree,
+    format_table,
+    speedup_series,
+)
+from repro.workloads.base import WorkloadResult
+from repro.workloads.datagen import (
+    aps_like,
+    image_set,
+    kdd98_like,
+    movielens_like,
+    rows_for_gb,
+    scaled_bytes,
+    synthetic_classification,
+    synthetic_regression,
+    word_sequence,
+)
+
+
+class TestDatagen:
+    def test_scaled_bytes(self):
+        assert scaled_bytes(1.0) == GB // SCALE
+
+    def test_rows_for_gb_sizing(self):
+        rows = rows_for_gb(5.0, 64)
+        assert rows * 64 * 8 == pytest.approx(scaled_bytes(5.0), rel=0.01)
+
+    def test_regression_has_signal(self):
+        X, y = synthetic_regression(1.0, 16)
+        beta, *_ = np.linalg.lstsq(X, y, rcond=None)
+        residual = y - X @ beta
+        assert residual.var() < y.var() / 2
+
+    def test_classification_binary_labels(self):
+        X, y = synthetic_classification(1.0, 16, 2)
+        assert set(np.unique(y)) <= {-1.0, 1.0}
+
+    def test_classification_multiclass_codes(self):
+        X, y = synthetic_classification(1.0, 16, 4)
+        assert y.min() >= 1.0 and y.max() <= 4.0
+
+    def test_movielens_nonnegative_low_rankish(self):
+        M = movielens_like()
+        assert (M > 0).all()
+        # approximately low rank: top-8 singular values dominate
+        s = np.linalg.svd(M[:200, :200], compute_uv=False)
+        assert s[:8].sum() > 5 * s[8:].sum()
+
+    def test_aps_missing_rate_and_imbalance(self):
+        X, y = aps_like(scale_factor=4, missing_rate=0.01)
+        rate = np.isnan(X).mean()
+        assert 0.005 < rate < 0.02
+        assert (y == 1.0).mean() < 0.3  # imbalanced classes
+
+    def test_aps_scale_factor_replicates_rows(self):
+        X1, _ = aps_like(scale_factor=1)
+        X4, _ = aps_like(scale_factor=4)
+        assert X4.shape[0] == 4 * X1.shape[0]
+
+    def test_kdd98_categorical_codes(self):
+        cat, num = kdd98_like(cardinality=7)
+        assert cat.min() >= 1 and cat.max() <= 7
+        assert (num >= 0).all()
+
+    def test_word_sequence_zipf_duplicates(self):
+        ids, table = word_sequence(seed=1)
+        unique = len(np.unique(ids))
+        assert unique < len(ids) / 2  # heavy duplication
+        assert ids.max() < table.shape[0]
+
+    def test_image_set_duplicates(self):
+        imgs = image_set(num_images=2048, duplicate_rate=0.5, seed=2)
+        unique_rows = len(np.unique(imgs, axis=0))
+        assert unique_rows < imgs.shape[0]
+
+    def test_generators_deterministic(self):
+        a, _ = synthetic_regression(1.0, 8, seed=5)
+        b, _ = synthetic_regression(1.0, 8, seed=5)
+        assert np.allclose(a, b)
+
+
+def _result(system, elapsed, metric=1.0, failed=None):
+    return WorkloadResult("w", system, {}, elapsed, {"cache/hits": 3},
+                          metric=metric, failed=failed)
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        table = format_table(["a", "bbbb"], [[1, 2.5], ["xx", 3.14159]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        assert "3.142" in table
+
+    def test_format_table_title_and_exponents(self):
+        table = format_table(["v"], [[12345.678]], title="T")
+        assert table.startswith("== T ==")
+        assert "e+04" in table
+
+    def test_speedup_series(self):
+        results = {"Base": _result("Base", 2.0), "MPH": _result("MPH", 0.5)}
+        series = speedup_series(results)
+        assert series["MPH"] == pytest.approx(4.0)
+        assert series["Base"] == pytest.approx(1.0)
+
+    def test_metrics_agree(self):
+        results = {"a": _result("a", 1, metric=5.0),
+                   "b": _result("b", 2, metric=5.0 + 1e-9)}
+        assert check_metrics_agree(results)
+
+    def test_metrics_disagree(self):
+        results = {"a": _result("a", 1, metric=5.0),
+                   "b": _result("b", 2, metric=6.0)}
+        assert not check_metrics_agree(results)
+
+    def test_failed_runs_ignored_in_agreement(self):
+        results = {"a": _result("a", 1, metric=5.0),
+                   "b": _result("b", 2, metric=99.0, failed="OOM")}
+        assert check_metrics_agree(results)
+
+    def test_workload_result_counter(self):
+        assert _result("x", 1.0).counter("cache/hits") == 3
+        assert _result("x", 1.0).counter("missing") == 0

@@ -1,0 +1,151 @@
+"""Stateful property-based tests of the memory managers' invariants."""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.backends.gpu import (
+    GpuDevice,
+    GpuMemoryManager,
+    GpuStream,
+    MODE_MEMPHIS,
+)
+from repro.backends.spark import BlockManager
+from repro.common.config import GpuConfig, SparkConfig, StorageLevel
+from repro.common.errors import GpuOutOfMemoryError
+from repro.common.simclock import SimClock
+from repro.common.stats import Stats
+
+
+class GpuAllocatorMachine(RuleBasedStateMachine):
+    """Random allocate/release/reuse/evict sequences preserve invariants:
+
+    * device accounting is exact (used + holes == capacity);
+    * live and free pointer sets are disjoint;
+    * freed pointers never appear in either list;
+    * pooled byte accounting matches the free lists.
+    """
+
+    def __init__(self):
+        super().__init__()
+        cfg = GpuConfig(device_memory=256 * 1024, alignment=512)
+        clock, stats = SimClock(), Stats()
+        device = GpuDevice(cfg)
+        stream = GpuStream(cfg, clock, stats)
+        self.mgr = GpuMemoryManager(device, stream, clock, stats,
+                                    MODE_MEMPHIS)
+        self.live = []
+
+    @rule(size=st.integers(min_value=1, max_value=32 * 1024))
+    def allocate(self, size):
+        try:
+            ptr = self.mgr.allocate(size)
+            self.live.append(ptr)
+        except GpuOutOfMemoryError:
+            pass  # legal under pressure from live pointers
+
+    @precondition(lambda self: self.live)
+    @rule(data=st.data())
+    def release(self, data):
+        idx = data.draw(st.integers(0, len(self.live) - 1))
+        ptr = self.live.pop(idx)
+        self.mgr.release(ptr)
+
+    @precondition(lambda self: any(
+        q for q in self.mgr.free_lists.values()))
+    @rule(data=st.data())
+    def reuse_from_free(self, data):
+        pools = [p for q in self.mgr.free_lists.values() for p in q]
+        ptr = pools[data.draw(st.integers(0, len(pools) - 1))]
+        revived = self.mgr.reuse_from_free(ptr)
+        self.live.append(revived)
+
+    @rule(fraction=st.floats(min_value=0.0, max_value=1.0))
+    def empty_cache(self, fraction):
+        self.mgr.empty_cache(fraction)
+
+    @invariant()
+    def device_accounting_exact(self):
+        device = self.mgr.device
+        holes = sum(size for _, size in device._free)
+        assert device.used_bytes + holes == device.capacity
+
+    @invariant()
+    def live_and_free_disjoint(self):
+        live_ids = {p.id for p in self.mgr.live.values()}
+        free_ids = {p.id for q in self.mgr.free_lists.values() for p in q}
+        assert not (live_ids & free_ids)
+
+    @invariant()
+    def no_freed_pointers_tracked(self):
+        for p in self.mgr.live.values():
+            assert not p.freed
+        for q in self.mgr.free_lists.values():
+            for p in q:
+                assert not p.freed
+
+    @invariant()
+    def pooled_bytes_match(self):
+        actual = sum(p.size for q in self.mgr.free_lists.values() for p in q)
+        assert self.mgr.free_bytes_pooled == actual
+
+    @invariant()
+    def free_queues_keyed_by_size(self):
+        for size, queue in self.mgr.free_lists.items():
+            assert all(p.size == size for p in queue)
+
+
+TestGpuAllocatorStateful = GpuAllocatorMachine.TestCase
+TestGpuAllocatorStateful.settings = settings(
+    max_examples=30, stateful_step_count=40, deadline=None
+)
+
+
+class BlockManagerMachine(RuleBasedStateMachine):
+    """Random partition caching never overflows the storage region and
+    keeps the byte accounting exact."""
+
+    def __init__(self):
+        super().__init__()
+        cfg = SparkConfig(num_executors=1, executor_memory=120_000)
+        self.bm = BlockManager(cfg, Stats())
+        self.next_rdd = 1
+
+    @rule(
+        partitions=st.integers(min_value=1, max_value=4),
+        rows=st.integers(min_value=1, max_value=200),
+        level=st.sampled_from([StorageLevel.MEMORY_ONLY,
+                               StorageLevel.MEMORY_AND_DISK]),
+    )
+    def cache_rdd(self, partitions, rows, level):
+        rdd_id = self.next_rdd
+        self.next_rdd += 1
+        for idx in range(partitions):
+            self.bm.put_partition(rdd_id, idx, np.ones((rows, 4)), level)
+
+    @rule(rdd_id=st.integers(min_value=1, max_value=30))
+    def drop(self, rdd_id):
+        self.bm.drop_rdd(rdd_id)
+
+    @invariant()
+    def never_over_capacity(self):
+        assert self.bm.memory_used <= self.bm.capacity
+
+    @invariant()
+    def accounting_matches_partitions(self):
+        actual = sum(
+            p.nbytes for p in self.bm._partitions.values() if not p.on_disk
+        )
+        assert self.bm.memory_used == actual
+
+
+TestBlockManagerStateful = BlockManagerMachine.TestCase
+TestBlockManagerStateful.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)

@@ -1,0 +1,91 @@
+"""Tests for the multi-timeline simulated clock."""
+
+import pytest
+
+from repro.common.simclock import CLUSTER, DEVICE, HOST, SimClock, SimFuture
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        clock = SimClock()
+        assert clock.now(HOST) == 0.0
+        assert clock.now(CLUSTER) == 0.0
+        assert clock.now(DEVICE) == 0.0
+
+    def test_advance(self):
+        clock = SimClock()
+        assert clock.advance(1.5) == 1.5
+        assert clock.now(HOST) == 1.5
+        assert clock.now(CLUSTER) == 0.0
+
+    def test_advance_negative_rejected(self):
+        clock = SimClock()
+        with pytest.raises(ValueError):
+            clock.advance(-1.0)
+
+    def test_advance_to_moves_forward_only(self):
+        clock = SimClock()
+        clock.advance(5.0)
+        clock.advance_to(3.0)
+        assert clock.now() == 5.0
+        clock.advance_to(7.0)
+        assert clock.now() == 7.0
+
+    def test_sync_joins_timelines(self):
+        clock = SimClock()
+        clock.advance(2.0, DEVICE)
+        clock.advance(1.0, HOST)
+        t = clock.sync(DEVICE, HOST)
+        assert t == 2.0
+        assert clock.now(HOST) == 2.0
+        assert clock.now(DEVICE) == 2.0
+
+    def test_sync_when_host_ahead(self):
+        clock = SimClock()
+        clock.advance(4.0, HOST)
+        clock.advance(1.0, DEVICE)
+        clock.sync(DEVICE, HOST)
+        assert clock.now(DEVICE) == 4.0
+
+    def test_independent_timelines(self):
+        clock = SimClock()
+        clock.advance(1.0, HOST)
+        clock.advance(2.0, CLUSTER)
+        clock.advance(3.0, DEVICE)
+        assert clock.now(HOST) == 1.0
+        assert clock.now(CLUSTER) == 2.0
+        assert clock.now(DEVICE) == 3.0
+
+    def test_reset(self):
+        clock = SimClock()
+        clock.advance(9.0, CLUSTER)
+        clock.reset()
+        assert clock.now(CLUSTER) == 0.0
+
+
+class TestSimFuture:
+    def test_wait_advances_host(self):
+        clock = SimClock()
+        future = SimFuture(clock, ready_time=5.0, value=42)
+        assert future.wait() == 42
+        assert clock.now(HOST) == 5.0
+
+    def test_wait_no_backwards_jump(self):
+        clock = SimClock()
+        clock.advance(10.0)
+        future = SimFuture(clock, ready_time=5.0, value="x")
+        future.wait()
+        assert clock.now(HOST) == 10.0
+
+    def test_done_before_and_after(self):
+        clock = SimClock()
+        future = SimFuture(clock, ready_time=5.0, value=1)
+        assert not future.done
+        clock.advance(6.0)
+        assert future.done
+
+    def test_done_after_wait(self):
+        clock = SimClock()
+        future = SimFuture(clock, ready_time=2.0, value=1)
+        future.wait()
+        assert future.done

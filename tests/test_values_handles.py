@@ -1,0 +1,146 @@
+"""Tests for runtime values and the handle API surface."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import MemphisConfig, Session
+from repro.runtime.values import (
+    MatrixValue,
+    ScalarValue,
+    as_matrix,
+    make_value,
+    value_bytes,
+)
+
+
+class TestValues:
+    def test_matrix_coerces_1d(self):
+        v = MatrixValue(np.arange(4.0))
+        assert v.shape == (4, 1)
+
+    def test_matrix_rejects_3d(self):
+        with pytest.raises(ValueError):
+            MatrixValue(np.zeros((2, 2, 2)))
+
+    def test_nbytes_dense(self):
+        assert MatrixValue(np.zeros((10, 5))).nbytes == 400
+
+    def test_scalar_float(self):
+        s = ScalarValue(2.5)
+        assert s.as_float() == 2.5
+        assert s.shape == (1, 1)
+        assert s.nbytes == 8
+
+    def test_as_matrix_on_scalar(self):
+        assert as_matrix(ScalarValue(3.0))[0, 0] == 3.0
+
+    def test_make_value_dispatch(self):
+        assert isinstance(make_value(np.zeros((2, 2))), MatrixValue)
+        assert isinstance(make_value(1.5), ScalarValue)
+        assert isinstance(make_value(np.float64(1.5)), ScalarValue)
+        assert make_value(np.int64(3)).value == 3
+        with pytest.raises(TypeError):
+            make_value(object())
+
+    def test_value_bytes(self):
+        assert value_bytes(ScalarValue(1.0)) == 8
+
+    def test_copy_is_independent(self):
+        v = MatrixValue(np.ones((2, 2)))
+        c = v.copy()
+        c.data[0, 0] = 9
+        assert v.data[0, 0] == 1.0
+
+
+@pytest.fixture()
+def sess():
+    return Session(MemphisConfig.memphis())
+
+
+class TestHandleSurface:
+    def test_operator_sugar_matches_numpy(self, sess):
+        a = np.array([[1.0, 2.0], [3.0, 4.0]])
+        b = np.array([[2.0, 0.5], [1.0, 2.0]])
+        A, B = sess.read(a, "A"), sess.read(b, "B")
+        cases = [
+            (A + B, a + b), (A - B, a - b), (A * B, a * b),
+            (A / B, a / b), (A ** 2.0, a ** 2), (A ^ 2.0, a ** 2),
+            (A @ B, a @ b), (-A, -a),
+            (2.0 + A, 2 + a), (2.0 - A, 2 - a), (2.0 * A, 2 * a),
+            (2.0 / A, 2 / a),
+            (A.maximum(B), np.maximum(a, b)),
+            (A.minimum(2.0), np.minimum(a, 2)),
+        ]
+        for handle, expect in cases:
+            assert np.allclose(handle.compute(), expect)
+
+    def test_comparisons(self, sess):
+        a = np.array([[1.0, 5.0]])
+        A = sess.read(a, "A")
+        assert np.allclose((A > 2).compute(), a > 2)
+        assert np.allclose((A <= 1).compute(), a <= 1)
+        assert np.allclose(A.eq(5.0).compute(), a == 5)
+
+    def test_unary_methods(self, sess):
+        a = np.array([[0.5, 2.0]])
+        A = sess.read(a, "A")
+        assert np.allclose(A.exp().compute(), np.exp(a))
+        assert np.allclose(A.log().compute(), np.log(a))
+        assert np.allclose(A.sqrt().compute(), np.sqrt(a))
+        assert np.allclose(A.tanh().compute(), np.tanh(a))
+        assert np.allclose(A.sigmoid().compute(), 1 / (1 + np.exp(-a)))
+
+    def test_aggregate_methods(self, sess):
+        a = np.arange(12.0).reshape(3, 4)
+        A = sess.read(a, "A")
+        assert A.sum().item() == a.sum()
+        assert A.mean().item() == a.mean()
+        assert A.max().item() == a.max()
+        assert A.min().item() == a.min()
+        assert np.allclose(A.row_sums().compute(), a.sum(1, keepdims=True))
+        assert np.allclose(A.col_sums().compute(), a.sum(0, keepdims=True))
+        assert np.allclose(A.col_means().compute(), a.mean(0, keepdims=True))
+        assert np.allclose(A.col_maxs().compute(), a.max(0, keepdims=True))
+        assert np.allclose(A.col_mins().compute(), a.min(0, keepdims=True))
+        assert np.allclose(A.row_maxs().compute(), a.max(1, keepdims=True))
+
+    def test_indexing_forms(self, sess):
+        a = np.arange(20.0).reshape(4, 5)
+        A = sess.read(a, "A")
+        assert np.allclose(A[1:3, :].compute(), a[1:3, :])
+        assert np.allclose(A[:, 2:4].compute(), a[:, 2:4])
+        assert np.allclose(A[2, 3].compute(), a[2:3, 3:4])
+
+    def test_shapes_inferred_lazily(self, sess):
+        A = sess.read(np.zeros((7, 3)), "A")
+        out = (A.t() @ A) + 1.0
+        assert out.shape == (3, 3)
+        assert not out.is_evaluated
+
+    def test_repr_states(self, sess):
+        A = sess.read(np.zeros((2, 2)), "A")
+        assert "evaluated" in repr(A)
+        lazy = A + 1.0
+        assert "lazy" in repr(lazy)
+
+    def test_eq_identity_preserved(self, sess):
+        # __eq__ stays identity so handles work in dicts/sets
+        A = sess.read(np.zeros((2, 2)), "A")
+        B = sess.read(np.zeros((2, 2)), "B")
+        assert A != B
+        assert len({A, B}) == 2
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=6),
+    st.integers(min_value=1, max_value=6),
+    st.floats(min_value=-10, max_value=10),
+)
+def test_property_scalar_ops_match_numpy(rows, cols, scalar):
+    sess = Session(MemphisConfig.base())
+    data = np.random.default_rng(rows * 7 + cols).random((rows, cols))
+    A = sess.read(data, "A")
+    assert np.allclose((A + scalar).compute(), data + scalar)
+    assert np.allclose((A * scalar).compute(), data * scalar)
