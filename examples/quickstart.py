@@ -9,7 +9,10 @@ input is large.
 
 Run:
     python examples/quickstart.py
+    python examples/quickstart.py --trace trace.json   # Perfetto timeline
 """
+
+import argparse
 
 import numpy as np
 
@@ -33,6 +36,18 @@ def grid_search(session: Session, X_data: np.ndarray,
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trace", metavar="OUT.json", default=None,
+                        help="write a Chrome/Perfetto trace of both runs")
+    args = parser.parse_args()
+
+    collector = None
+    if args.trace is not None:
+        from repro.obs import TraceCollector, enable_tracing
+
+        collector = TraceCollector()
+        enable_tracing(collector)
+
     rng = np.random.default_rng(42)
     X_data = rng.random((60_000, 32))
     beta_true = rng.standard_normal((32, 1))
@@ -53,6 +68,16 @@ def main() -> None:
         print(f"{'':18s} RDDs reused     : {stats.get('spark/rdds_reused')}")
         print(f"{'':18s} actions reused  : {stats.get('spark/actions_reused')}")
         print()
+
+    if collector is not None:
+        from repro.obs import disable_tracing, export_chrome_trace, format_summary
+
+        disable_tracing()
+        events = collector.events()
+        export_chrome_trace(events, args.trace, collector.session_labels)
+        print(f"[trace: {len(events)} events -> {args.trace}]")
+        print()
+        print(format_summary(events))
 
 
 if __name__ == "__main__":

@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""CI smoke test for the tracing pipeline.
+
+Runs ``examples/quickstart.py --trace`` end-to-end as a subprocess and
+validates the produced Chrome-trace file against the JSON schema in
+``repro.obs.schema``, then checks the structural properties the
+observability docs promise: distinct backend lanes, instruction spans,
+and cache events attributed to specific instructions.
+
+Usage::
+
+    python scripts/trace_smoke.py
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import tempfile
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO, "src"))
+
+from repro.obs import load_chrome_trace, validate_chrome_trace  # noqa: E402
+from repro.obs.chrome import LANE_TIDS  # noqa: E402
+from repro.obs.events import EV_INSTR, EV_PROBE, LANE_CP, LANE_SP  # noqa: E402
+
+
+def fail(message: str) -> "NoReturn":  # noqa: F821 - py<3.11 spelling
+    print(f"FAIL: {message}")
+    sys.exit(1)
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        trace_path = os.path.join(tmp, "trace.json")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = (
+            os.path.join(REPO, "src") + os.pathsep + env.get("PYTHONPATH", "")
+        )
+        proc = subprocess.run(
+            [sys.executable, os.path.join(REPO, "examples", "quickstart.py"),
+             "--trace", trace_path],
+            capture_output=True, text=True, env=env, timeout=600,
+        )
+        if proc.returncode != 0:
+            print(proc.stdout)
+            print(proc.stderr)
+            fail(f"quickstart --trace exited with {proc.returncode}")
+        if "=== trace summary ===" not in proc.stdout:
+            fail("quickstart did not print the trace summary")
+
+        doc = load_chrome_trace(trace_path)
+        problems = validate_chrome_trace(doc)
+        if problems:
+            for p in problems[:10]:
+                print(f"  schema: {p}")
+            fail(f"{len(problems)} schema violations in {trace_path}")
+
+        events = doc["traceEvents"]
+        payload = [e for e in events if e["ph"] != "M"]
+        if not payload:
+            fail("trace contains no payload events")
+
+        lanes = {e["tid"] for e in payload}
+        for lane in (LANE_CP, LANE_SP):
+            if LANE_TIDS[lane] not in lanes:
+                fail(f"no events on the {lane} lane")
+
+        instrs = [e for e in payload if e["name"] == EV_INSTR]
+        if not instrs:
+            fail("no instruction spans recorded")
+        probes = [e for e in payload if e["name"] == EV_PROBE]
+        if not probes:
+            fail("no cache probes recorded")
+        unattributed = [e for e in probes
+                        if "instr" not in (e.get("args") or {})]
+        if unattributed:
+            fail(f"{len(unattributed)} probes not attributed to an "
+                 f"instruction")
+        hits = [e for e in probes if e["args"].get("hit")]
+        if not hits:
+            fail("MEMPHIS session produced no probe hits")
+
+        print(f"OK: {len(payload)} events, {len(instrs)} instruction "
+              f"spans, {len(probes)} probes ({len(hits)} hits), lanes "
+              f"{sorted(lanes)} — schema valid")
+
+
+if __name__ == "__main__":
+    main()

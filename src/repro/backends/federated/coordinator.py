@@ -18,6 +18,8 @@ from repro.backends.federated.worker import FederatedConfig, FederatedWorker
 from repro.common.simclock import HOST, SimClock
 from repro.common.stats import Stats
 from repro.lineage.item import LineageItem, dataset, literal
+from repro.obs.events import EV_FED_REQUEST, LANE_FED
+from repro.obs.tracer import NULL_TRACER, current_collector
 from repro.runtime.values import MatrixValue, ScalarValue
 
 FED_REQUESTS = "federated/requests"
@@ -51,7 +53,8 @@ class FederatedCoordinator:
     def __init__(self, workers: list[FederatedWorker],
                  config: FederatedConfig | None = None,
                  clock: SimClock | None = None,
-                 reuse: bool = True) -> None:
+                 reuse: bool = True,
+                 tracer=None) -> None:
         self.workers = workers
         self.config = config or (
             workers[0].config if workers else FederatedConfig()
@@ -59,6 +62,14 @@ class FederatedCoordinator:
         self.clock = clock or SimClock()
         self.stats = Stats()
         self.reuse = reuse
+        if tracer is None:
+            collector = current_collector()
+            tracer = (
+                collector.tracer(self.clock, label="federated",
+                                 stats=self.stats)
+                if collector is not None else NULL_TRACER
+            )
+        self.tracer = tracer
         self._fed_counter = 0
 
     # -- data placement ---------------------------------------------------------
@@ -165,9 +176,15 @@ class FederatedCoordinator:
             value, end = worker.execute(
                 opcode, out_lineage, inputs, attrs, submit, self.reuse
             )
-            if worker.stats.get("cache/hits") > hits_before:
+            reused = worker.stats.get("cache/hits") > hits_before
+            if reused:
                 self.stats.inc(FED_REUSED)
             self.stats.inc(FED_REQUESTS)
+            if self.tracer.enabled:
+                self.tracer.complete(
+                    EV_FED_REQUEST, LANE_FED, submit, end,
+                    worker=wid, opcode=opcode, reused=reused,
+                )
             results.append(value)
             completion = max(completion, end)
             if not store:

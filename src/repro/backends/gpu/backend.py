@@ -33,7 +33,12 @@ GPU_OPCODES = {
 
 @dataclass
 class GpuData:
-    """A matrix resident on the device: pointer + shadow value."""
+    """A matrix resident on the device: pointer + shadow value.
+
+    The GPU payload format of the hierarchical lineage cache (paper
+    Table 1, §4.2): a managed device pointer whose lifetime the
+    memory manager controls, plus the host-side shadow result.
+    """
 
     ptr: GpuPointer
     value: MatrixValue
@@ -53,14 +58,14 @@ class GpuBackend:
     name = "GPU"
 
     def __init__(self, config: GpuConfig, clock: SimClock, stats: Stats,
-                 mode: str = MODE_MEMPHIS) -> None:
+                 mode: str = MODE_MEMPHIS, tracer=None) -> None:
         self.config = config
         self.clock = clock
         self.stats = stats
         self.device = GpuDevice(config)
-        self.stream = GpuStream(config, clock, stats)
+        self.stream = GpuStream(config, clock, stats, tracer=tracer)
         self.memory = GpuMemoryManager(
-            self.device, self.stream, clock, stats, mode
+            self.device, self.stream, clock, stats, mode, tracer=tracer
         )
 
     def supports(self, opcode: str) -> bool:

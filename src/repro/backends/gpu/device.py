@@ -22,7 +22,12 @@ def _align(size: int, alignment: int) -> int:
 
 
 class GpuDevice:
-    """Contiguous device address space with first-fit allocation."""
+    """Contiguous device address space with first-fit allocation.
+
+    Models the raw ``cudaMalloc``/``cudaFree`` address space beneath
+    the unified memory manager (paper §4.2, Fig. 8), including the
+    fragmentation that step 6 of Algorithm 1 defragments.
+    """
 
     def __init__(self, config: GpuConfig) -> None:
         self.config = config

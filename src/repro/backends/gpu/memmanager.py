@@ -39,6 +39,16 @@ from repro.common.stats import (
     GPU_REUSED,
     Stats,
 )
+from repro.obs.events import (
+    EV_GPU_DEFRAG,
+    EV_GPU_EVICT_D2H,
+    EV_GPU_FREE,
+    EV_GPU_MALLOC,
+    EV_GPU_RECYCLE,
+    EV_GPU_REUSE,
+    LANE_GPU,
+)
+from repro.obs.tracer import NULL_TRACER
 
 MODE_MALLOC = "malloc"
 MODE_POOL = "pool"
@@ -46,15 +56,22 @@ MODE_MEMPHIS = "memphis"
 
 
 class GpuMemoryManager:
-    """Reference-counted pointer manager with recycling and eviction."""
+    """Reference-counted pointer manager with recycling and eviction.
+
+    The unified GPU memory manager of paper §4.2 (Fig. 8): Live/Free
+    pointer lists, exact-size recycling, and the allocation cascade of
+    Algorithm 1 scored by the eviction function of Eq. 2.
+    """
 
     def __init__(self, device: GpuDevice, stream: GpuStream, clock: SimClock,
                  stats: Stats, mode: str = MODE_MEMPHIS,
-                 on_invalidate: Optional[Callable[[GpuPointer], None]] = None) -> None:
+                 on_invalidate: Optional[Callable[[GpuPointer], None]] = None,
+                 tracer=None) -> None:
         self.device = device
         self.stream = stream
         self.clock = clock
         self.stats = stats
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.mode = mode
         #: called before a free pointer's contents are destroyed, so the
         #: lineage cache can drop or host-save the entry backed by it.
@@ -131,6 +148,8 @@ class GpuMemoryManager:
         ptr.last_access = self.clock.now(DEVICE)
         self.live[ptr.id] = ptr
         self.stats.inc(GPU_REUSED)
+        if self.tracer.enabled:
+            self.tracer.instant(EV_GPU_REUSE, LANE_GPU, nbytes=ptr.size)
         return ptr
 
     def touch(self, ptr: GpuPointer) -> None:
@@ -160,6 +179,8 @@ class GpuMemoryManager:
         """Device-to-host eviction of a free pointer (keeps data on host)."""
         self.stream.copy_d2h(ptr.size)
         self.stats.inc(GPU_EVICT_D2H)
+        if self.tracer.enabled:
+            self.tracer.instant(EV_GPU_EVICT_D2H, LANE_GPU, nbytes=ptr.size)
         self._destroy_free_pointer(ptr, invalidate=False)
 
     # -- Algorithm 1 ----------------------------------------------------------
@@ -195,6 +216,9 @@ class GpuMemoryManager:
         victim.freed = True
         self.live[ptr.id] = ptr
         self.stats.inc(GPU_RECYCLED)
+        if self.tracer.enabled:
+            self.tracer.instant(EV_GPU_RECYCLE, LANE_GPU, nbytes=size,
+                                cached=victim.cached)
         return ptr
 
     def _device_has_room(self, size: int) -> bool:
@@ -260,6 +284,8 @@ class GpuMemoryManager:
             self.clock.advance(self.config.malloc_latency_s, HOST)
             self.clock.advance_to(self.clock.now(HOST), DEVICE)
             self.stats.inc(GPU_MALLOCS)
+            if self.tracer.enabled:
+                self.tracer.instant(EV_GPU_MALLOC, LANE_GPU, nbytes=size)
         return offset
 
     def _cuda_free(self, ptr: GpuPointer) -> None:
@@ -271,6 +297,8 @@ class GpuMemoryManager:
         self.device.free(ptr.offset)
         ptr.freed = True
         self.stats.inc(GPU_FREES)
+        if self.tracer.enabled:
+            self.tracer.instant(EV_GPU_FREE, LANE_GPU, nbytes=ptr.size)
 
     def _destroy_free_pointer(self, ptr: GpuPointer,
                               already_popped: bool = False,
@@ -299,6 +327,8 @@ class GpuMemoryManager:
         )
         self.clock.advance_to(self.clock.now(HOST), DEVICE)
         self.stats.inc(GPU_DEFRAGS)
+        if self.tracer.enabled:
+            self.tracer.instant(EV_GPU_DEFRAG, LANE_GPU, moved=moved)
         relocation = getattr(self.device, "relocation_map", {})
         for ptr in self.live.values():
             if ptr.offset in relocation:

@@ -17,7 +17,12 @@ _ptr_ids = itertools.count(1)
 
 
 class GpuPointer:
-    """A device allocation with simulator-side shadow data."""
+    """A device allocation with simulator-side shadow data.
+
+    Carries the reference count and the Eq. 2 scoring metadata
+    (last access, lineage height, compute cost) the memory manager
+    uses on the Free list (paper §4.2, Fig. 8).
+    """
 
     __slots__ = (
         "id", "offset", "size", "shape", "data", "ref_count",

@@ -21,15 +21,24 @@ from repro.common.stats import (
     GPU_SYNCS,
     Stats,
 )
+from repro.obs.events import EV_GPU_D2H, EV_GPU_H2D, EV_GPU_KERNEL, LANE_GPU
+from repro.obs.tracer import NULL_TRACER
 
 
 class GpuStream:
-    """The single CUDA stream of the simulated device."""
+    """The single CUDA stream of the simulated device.
 
-    def __init__(self, config: GpuConfig, clock: SimClock, stats: Stats) -> None:
+    Models asynchronous kernel launches and the synchronization
+    barriers (``cudaFree``, D2H copies) whose cost Fig. 2(d)
+    quantifies and §4.2's recycling avoids.
+    """
+
+    def __init__(self, config: GpuConfig, clock: SimClock, stats: Stats,
+                 tracer=None) -> None:
         self.config = config
         self.clock = clock
         self.stats = stats
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     def launch(self, flops: float, bytes_touched: int) -> None:
         """Enqueue a kernel: host pays launch latency, device the runtime."""
@@ -42,8 +51,13 @@ class GpuStream:
             bytes_touched,
             self.config.mem_bandwidth_bytes_per_s,
         )
+        start = self.clock.now(DEVICE)
         self.clock.advance(duration, DEVICE)
         self.stats.inc(GPU_KERNELS)
+        if self.tracer.enabled:
+            self.tracer.complete(EV_GPU_KERNEL, LANE_GPU, start,
+                                 start + duration, flops=flops,
+                                 nbytes=bytes_touched)
 
     def synchronize(self) -> None:
         """Host waits for all pending device work (barrier)."""
@@ -53,22 +67,34 @@ class GpuStream:
     def copy_h2d(self, nbytes: int) -> None:
         """Pageable host-to-device copy: blocks the host for the transfer."""
         transfer = nbytes / self.config.h2d_bandwidth_bytes_per_s
+        start = self.clock.now(HOST)
         self.clock.advance(transfer, HOST)
         self.clock.advance_to(self.clock.now(HOST), DEVICE)
         self.stats.inc(GPU_H2D)
+        if self.tracer.enabled:
+            self.tracer.complete(EV_GPU_H2D, LANE_GPU, start,
+                                 start + transfer, nbytes=nbytes)
 
     def copy_d2h(self, nbytes: int) -> None:
         """Device-to-host copy: synchronizes, then transfers."""
         self.synchronize()
         transfer = nbytes / self.config.d2h_bandwidth_bytes_per_s
+        start = self.clock.now(HOST)
         self.clock.advance(transfer, HOST)
         self.clock.advance_to(self.clock.now(HOST), DEVICE)
         self.stats.inc(GPU_D2H)
+        if self.tracer.enabled:
+            self.tracer.complete(EV_GPU_D2H, LANE_GPU, start,
+                                 start + transfer, nbytes=nbytes)
 
     def copy_d2h_async(self, nbytes: int) -> float:
         """Asynchronous D2H (prefetch path): returns the ready time."""
         transfer = nbytes / self.config.d2h_bandwidth_bytes_per_s
-        ready = self.clock.now(DEVICE) + transfer
+        start = self.clock.now(DEVICE)
+        ready = start + transfer
         self.clock.advance_to(ready, DEVICE)
         self.stats.inc(GPU_D2H)
+        if self.tracer.enabled:
+            self.tracer.complete(EV_GPU_D2H, LANE_GPU, start, ready,
+                                 nbytes=nbytes, mode="async")
         return ready

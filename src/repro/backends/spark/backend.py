@@ -22,7 +22,12 @@ from repro.runtime.values import MatrixValue
 
 @dataclass
 class DistributedMatrix:
-    """A matrix partitioned into row blocks across the cluster."""
+    """A matrix partitioned into row blocks across the cluster.
+
+    The SP payload format of the hierarchical lineage cache (paper
+    Table 1, §4.1): a lazy RDD handle plus logical dimensions, cached
+    without forcing materialization.
+    """
 
     rdd: RDD
     nrow: int
@@ -54,7 +59,13 @@ _UNARY = {
 
 
 class SparkBackend:
-    """Spark physical operators on :class:`DistributedMatrix` handles."""
+    """Spark physical operators on :class:`DistributedMatrix` handles.
+
+    The distributed execution backend of Table 2 (row 3): implements the
+    operator set the placement pass routes to the cluster (Fig. 7),
+    including the broadcast ``mapmm`` and shuffle ``tsmm`` multiplies of
+    the paper's running example (§2.2, Fig. 2(b)).
+    """
 
     name = "SP"
 

@@ -23,6 +23,12 @@ from repro.common.stats import (
     Stats,
 )
 from repro.backends.spark.rdd import TaskMetrics
+from repro.obs.events import (
+    EV_SPARK_PART_EVICT,
+    EV_SPARK_PART_SPILL,
+    LANE_SP,
+)
+from repro.obs.tracer import NULL_TRACER
 
 
 @dataclass
@@ -34,11 +40,19 @@ class _CachedPartition:
 
 
 class BlockManager:
-    """Unified storage region shared by all executors of the cluster."""
+    """Unified storage region shared by all executors of the cluster.
 
-    def __init__(self, config: SparkConfig, stats: Stats) -> None:
+    Models Spark's aggregate storage memory (paper §2.2): cached RDD
+    partitions under a byte budget with LRU eviction and disk spilling —
+    the memory pressure MEMPHIS's Spark cache manager negotiates with
+    when deciding storage levels (§5.2).
+    """
+
+    def __init__(self, config: SparkConfig, stats: Stats,
+                 tracer=None) -> None:
         self._config = config
         self._stats = stats
+        self._tracer = tracer if tracer is not None else NULL_TRACER
         self._partitions: OrderedDict[tuple[int, int], _CachedPartition] = OrderedDict()
         self._memory_used = 0
         #: RDD id currently being materialized (its partitions are exempt
@@ -71,6 +85,7 @@ class BlockManager:
         if level is StorageLevel.DISK_ONLY:
             self._partitions[key] = _CachedPartition(block, nbytes, level, on_disk=True)
             self._stats.inc(SPARK_PART_SPILLED)
+            self._trace(EV_SPARK_PART_SPILL, key, nbytes)
             return True
         if not self._evict_until_fits(nbytes, protect_rdd=rdd_id):
             if level is StorageLevel.MEMORY_AND_DISK:
@@ -78,6 +93,7 @@ class BlockManager:
                     block, nbytes, level, on_disk=True
                 )
                 self._stats.inc(SPARK_PART_SPILLED)
+                self._trace(EV_SPARK_PART_SPILL, key, nbytes)
                 return True
             return False
         self._partitions[key] = _CachedPartition(block, nbytes, level)
@@ -151,7 +167,15 @@ class BlockManager:
             if victim.level is StorageLevel.MEMORY_AND_DISK:
                 victim.on_disk = True
                 self._stats.inc(SPARK_PART_SPILLED)
+                self._trace(EV_SPARK_PART_SPILL, victim_key, victim.nbytes)
             else:
                 del self._partitions[victim_key]
                 self._stats.inc(SPARK_PART_EVICTED)
+                self._trace(EV_SPARK_PART_EVICT, victim_key, victim.nbytes)
         return True
+
+    def _trace(self, name: str, key: tuple[int, int], nbytes: int) -> None:
+        """Emit a storage event on the cluster lane (no-op when off)."""
+        if self._tracer.enabled:
+            self._tracer.instant(name, LANE_SP, rdd=key[0],
+                                 partition=key[1], nbytes=nbytes)

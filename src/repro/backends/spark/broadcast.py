@@ -25,7 +25,12 @@ _bc_ids = itertools.count(1)
 
 
 class Broadcast:
-    """A broadcast variable with torrent-style lazy chunk transfer."""
+    """A broadcast variable with torrent-style lazy chunk transfer.
+
+    Spark's TorrentBroadcast (paper §2.2): serialized chunks retain
+    driver memory until ``destroy()`` — the dangling-reference leak of
+    Fig. 2(b) that MEMPHIS's lazy broadcast GC reclaims (§4.1).
+    """
 
     def __init__(self, context: "SparkContext", value: np.ndarray) -> None:
         self.id = next(_bc_ids)

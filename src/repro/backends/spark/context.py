@@ -20,16 +20,26 @@ from repro.backends.spark.scheduler import DAGScheduler, JobResult
 from repro.common.config import SparkConfig
 from repro.common.simclock import CLUSTER, HOST, SimClock, SimFuture
 from repro.common.stats import SPARK_PART_RECOMPUTED, Stats
+from repro.obs.events import EV_SPARK_JOB, EV_SPARK_STAGE, LANE_SP
+from repro.obs.tracer import NULL_TRACER
 
 
 class SparkContext:
-    """Driver process handle to the simulated cluster."""
+    """Driver process handle to the simulated cluster.
 
-    def __init__(self, config: SparkConfig, clock: SimClock, stats: Stats) -> None:
+    The driver-side entry point of the Spark backend (paper §2.2):
+    owns storage and scheduling state, and exposes the synchronous and
+    asynchronous actions MEMPHIS's ``prefetch`` rewrite relies on
+    (§5.1, Fig. 2(b)).
+    """
+
+    def __init__(self, config: SparkConfig, clock: SimClock, stats: Stats,
+                 tracer=None) -> None:
         self.config = config
         self.clock = clock
         self.stats = stats
-        self.block_manager = BlockManager(config, stats)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.block_manager = BlockManager(config, stats, tracer=self.tracer)
         self.scheduler = DAGScheduler(self)
         self.driver_retained_bytes = 0
         self.shuffle_store_bytes = 0
@@ -82,6 +92,20 @@ class SparkContext:
         end = start + result.duration
         self._job_lanes[lane] = end
         self.clock.advance_to(end, CLUSTER)
+        if self.tracer.enabled:
+            self.tracer.complete(
+                EV_SPARK_JOB, LANE_SP, start, end,
+                rdd=rdd.name, stages=result.num_stages,
+                tasks=result.num_tasks,
+            )
+            # stage spans laid out back-to-back after the job overhead
+            offset = start + self.config.job_overhead_s
+            for kind, tasks, dur in result.stages:
+                self.tracer.complete(
+                    EV_SPARK_STAGE, LANE_SP, offset, offset + dur,
+                    kind=kind, tasks=tasks, rdd=rdd.name,
+                )
+                offset += dur
         return result, end
 
     # -- actions ------------------------------------------------------------------

@@ -32,7 +32,12 @@ _rdd_ids = itertools.count(1)
 
 
 class TaskMetrics:
-    """Per-task cost accumulator used by the scheduler's time model."""
+    """Per-task cost accumulator used by the scheduler's time model.
+
+    Feeds the stage-time formula of §2.2 (flops, input reads, shuffle
+    writes, disk spills) that the DAGScheduler turns into simulated
+    cluster time.
+    """
 
     __slots__ = ("flops", "bytes_read", "bytes_shuffled", "bytes_spilled")
 
@@ -44,7 +49,7 @@ class TaskMetrics:
 
 
 class NarrowDependency:
-    """1:1 partition dependency."""
+    """1:1 partition dependency (no stage boundary, paper §2.2)."""
 
     __slots__ = ("rdd",)
 
@@ -58,7 +63,9 @@ class ShuffleDependency:
     ``map_side`` maps ``(partition_index, block) -> {out_partition: block}``;
     ``reduce_side`` folds the collected blocks of one output partition.
     After the map stage runs once, ``shuffle_files`` retains the map
-    outputs; subsequent jobs over the same dependency skip the map side.
+    outputs; subsequent jobs over the same dependency skip the map side —
+    the implicit shuffle-file caching MEMPHIS exploits to reuse
+    unmaterialized cached RDDs (paper §4.1).
     """
 
     __slots__ = ("rdd", "map_side", "reduce_side", "num_out_partitions",
@@ -77,7 +84,12 @@ class ShuffleDependency:
 
 
 class RDD:
-    """Base class of all RDD flavours."""
+    """Base class of all RDD flavours.
+
+    Lazy, immutable, lineage-tracked distributed collection (paper
+    §2.2); the SP-backend payload unit of the hierarchical lineage
+    cache (Table 1).
+    """
 
     def __init__(self, context: "SparkContext", deps: list,
                  num_partitions: int, name: str) -> None:
@@ -193,7 +205,7 @@ class RDD:
 
 
 class ParallelizedRDD(RDD):
-    """Leaf RDD over a local matrix split into row blocks."""
+    """Leaf RDD over a local matrix split into row blocks (§2.2)."""
 
     def __init__(self, context: "SparkContext", matrix: np.ndarray,
                  block_rows: int, name: str = "parallelize") -> None:
@@ -210,7 +222,7 @@ class ParallelizedRDD(RDD):
 
 
 class MappedRDD(RDD):
-    """Narrow per-block map."""
+    """Narrow per-block map (element-wise Spark operators, Fig. 7)."""
 
     def __init__(self, parent: RDD, fn, name: str, flops_per_cell: float) -> None:
         super().__init__(parent.context, [NarrowDependency(parent)],
@@ -226,7 +238,7 @@ class MappedRDD(RDD):
 
 
 class ZippedRDD(RDD):
-    """Narrow partition-aligned binary op."""
+    """Narrow partition-aligned binary op (element-wise zips, Fig. 7)."""
 
     def __init__(self, left: RDD, right: RDD, fn, name: str,
                  flops_per_cell: float) -> None:
@@ -272,7 +284,11 @@ class BroadcastMapRDD(RDD):
 
 
 class ShuffledRDD(RDD):
-    """Wide transformation; computing it requires its shuffle files."""
+    """Wide transformation; computing it requires its shuffle files.
+
+    The shuffle side of stage splitting (paper §2.2); backs the
+    ``tsmm``/``cpmm`` physical multiplies of Fig. 7.
+    """
 
     def __init__(self, parent: RDD, map_side, reduce_side,
                  num_out_partitions: int, name: str) -> None:

@@ -26,6 +26,7 @@ from repro.common.stats import (
     SPARK_SHUFFLE_REUSE,
     SPARK_TASKS,
 )
+from repro.obs.events import EV_SPARK_SHUFFLE_REUSE, LANE_SP
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.backends.spark.context import SparkContext
@@ -33,12 +34,16 @@ if TYPE_CHECKING:  # pragma: no cover
 
 @dataclass
 class JobResult:
-    """Outcome of one Spark job."""
+    """Outcome of one Spark job (stage/task counts per §2.2's model)."""
 
     partitions: list[np.ndarray]
     duration: float
     num_stages: int
     num_tasks: int
+    #: per-stage (kind, num_tasks, duration) records, in execution
+    #: order; consumed by the tracer to render stage spans inside the
+    #: job span on the cluster lane.
+    stages: list[tuple[str, int, float]] = field(default_factory=list)
     result_bytes: int = field(init=False)
 
     def __post_init__(self) -> None:
@@ -46,7 +51,12 @@ class JobResult:
 
 
 class DAGScheduler:
-    """Builds and runs the stage DAG of one job."""
+    """Builds and runs the stage DAG of one job.
+
+    Splits the RDD lineage at shuffle boundaries into map and result
+    stages (paper §2.2) and skips map stages whose shuffle files
+    already exist — the reuse path of §4.1.
+    """
 
     def __init__(self, context: "SparkContext") -> None:
         self.context = context
@@ -61,10 +71,14 @@ class DAGScheduler:
 
         pending = self._pending_shuffles(rdd)
         stage_times: list[float] = []
+        stages: list[tuple[str, int, float]] = []
         total_tasks = 0
 
         for dep in pending:
             stage_times.append(self._run_map_stage(dep))
+            stages.append(
+                ("shuffle_map", dep.rdd.num_partitions, stage_times[-1])
+            )
             total_tasks += dep.rdd.num_partitions
 
         # result stage
@@ -79,12 +93,14 @@ class DAGScheduler:
         finally:
             self.context.block_manager.set_computing(None)
         stage_times.append(self._stage_time(task_times))
+        stages.append(("result", rdd.num_partitions, stage_times[-1]))
         total_tasks += rdd.num_partitions
         stats.inc(SPARK_TASKS, total_tasks)
         self.context.job_memo = outer_memo
 
         duration = cfg.job_overhead_s + sum(stage_times)
-        return JobResult(partitions, duration, len(stage_times), total_tasks)
+        return JobResult(partitions, duration, len(stage_times), total_tasks,
+                         stages)
 
     # -- internals -----------------------------------------------------------
 
@@ -111,6 +127,13 @@ class DAGScheduler:
                         order.append(dep)
                     else:
                         self.context.stats.inc(SPARK_SHUFFLE_REUSE)
+                        tracer = self.context.tracer
+                        if tracer.enabled:
+                            tracer.instant(
+                                EV_SPARK_SHUFFLE_REUSE, LANE_SP,
+                                rdd=node.name,
+                                nbytes=dep.shuffle_bytes,
+                            )
 
         visit(rdd)
         return order

@@ -193,6 +193,14 @@ class MemphisConfig:
     #: GPU allocator mode: "malloc" | "pool" | "memphis"; None derives it
     #: from the reuse mode (Base -> malloc, MEMPHIS -> memphis).
     gpu_memory_mode: str | None = None
+    #: structured tracing (``repro.obs``): when True the session records
+    #: spans and typed events (instructions, probes, evictions, Spark
+    #: jobs, GPU copies, ...) into an in-memory ring buffer, exportable
+    #: as JSONL or a Chrome/Perfetto trace.  Off by default — the
+    #: disabled path is a single attribute check per potential event.
+    trace_enabled: bool = False
+    #: ring-buffer capacity (events) when tracing is enabled.
+    trace_buffer: int = 1 << 18
     #: RNG seed for the framework's own randomized choices.
     seed: int = 42
 

@@ -47,14 +47,45 @@ class Stats:
         self._counters.clear()
         self._accumulators.clear()
 
+    def merge(self, other: "Stats") -> "Stats":
+        """Accumulate ``other``'s counters and timers into this registry.
+
+        Used for multi-session aggregation: the benchmark harness merges
+        the registries of every session of a traced run into one report.
+        Returns ``self`` for chaining.
+        """
+        for name, value in other._counters.items():
+            self._counters[name] += value
+        for name, seconds in other._accumulators.items():
+            self._accumulators[name] += seconds
+        return self
+
     def report(self) -> str:
-        """Human-readable multi-line report, sorted by name."""
-        lines = ["=== statistics ==="]
+        """Human-readable report, grouped by subsystem prefix.
+
+        Names follow the ``subsystem/metric`` convention; counters and
+        timers of the same subsystem are reported together under one
+        header instead of interleaving two flat sorted lists.
+        """
+        groups: dict[str, list[str]] = {}
         for name in sorted(self._counters):
-            lines.append(f"{name:<42s} {self._counters[name]:>12d}")
+            groups.setdefault(_prefix(name), []).append(
+                f"{name:<42s} {self._counters[name]:>12d}"
+            )
         for name in sorted(self._accumulators):
-            lines.append(f"{name:<42s} {self._accumulators[name]:>12.6f} s")
+            groups.setdefault(_prefix(name), []).append(
+                f"{name:<42s} {self._accumulators[name]:>12.6f} s"
+            )
+        lines = ["=== statistics ==="]
+        for prefix in sorted(groups):
+            lines.append(f"-- {prefix} --")
+            lines.extend(groups[prefix])
         return "\n".join(lines)
+
+
+def _prefix(name: str) -> str:
+    """Subsystem prefix of a metric name (text before the first ``/``)."""
+    return name.split("/", 1)[0] if "/" in name else "misc"
 
 
 # Well-known counter names (kept in one place to avoid typos).

@@ -29,6 +29,15 @@ from repro.common.stats import (
 from repro.core.entry import BACKEND_CP, BACKEND_GPU, BACKEND_SP, CacheEntry, EntryStatus
 from repro.core.policies import EvictionPolicy, make_policy
 from repro.lineage.item import LineageItem
+from repro.obs.events import (
+    EV_CACHE_DELAY,
+    EV_CACHE_EVICT,
+    EV_CACHE_PUT,
+    EV_CACHE_RESTORE,
+    EV_CACHE_SPILL,
+    EV_PROBE,
+)
+from repro.obs.tracer import NULL_TRACER
 
 
 #: payload tag for driver-local entries spilled to disk.
@@ -48,11 +57,13 @@ class LineageCache:
                  policy: Optional[EvictionPolicy] = None,
                  clock=None,
                  disk_bytes_per_s: float = 1024**3,
-                 flops_per_s: float = 1.5e12) -> None:
+                 flops_per_s: float = 1.5e12,
+                 tracer=None) -> None:
         self.config = config
         self.stats = stats
         self.policy = policy or make_policy(config.policy)
         self.clock = clock
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.disk_bytes_per_s = disk_bytes_per_s
         self.flops_per_s = flops_per_s
         self._entries: dict[LineageItem, CacheEntry] = {}
@@ -97,11 +108,13 @@ class LineageCache:
         entry = self._entries.get(key)
         if entry is None:
             self.stats.inc(CACHE_MISSES)
+            self._trace_probe(key, hit=False)
             return None
         entry.last_access = self._logical_time
         if entry.is_cached:
             entry.hits += 1
             self.stats.inc(CACHE_HITS)
+            self._trace_probe(key, hit=True)
             return entry
         if entry.status is EntryStatus.SPILLED \
                 and BACKEND_DISK in entry.payloads:
@@ -109,10 +122,17 @@ class LineageCache:
             if restored:
                 entry.hits += 1
                 self.stats.inc(CACHE_HITS)
+                self._trace_probe(key, hit=True, restored=True)
                 return entry
         entry.misses += 1
         self.stats.inc(CACHE_MISSES)
+        self._trace_probe(key, hit=False)
         return None
+
+    def _trace_probe(self, key: LineageItem, hit: bool, **extra) -> None:
+        if self.tracer.enabled:
+            self.tracer.instant(EV_PROBE, hit=hit, opcode=key.opcode,
+                                key=key.id, **extra)
 
     def put(self, key: LineageItem, payload: object, backend: str,
             size: int, compute_cost: float,
@@ -134,6 +154,9 @@ class LineageCache:
         entry.last_access = self._logical_time
         if entry.seen_count < n:
             self.stats.inc(CACHE_DELAYED)
+            if self.tracer.enabled:
+                self.tracer.instant(EV_CACHE_DELAY, opcode=key.opcode,
+                                    key=key.id, seen=entry.seen_count)
             return None
         if backend == BACKEND_CP:
             if not self._make_space_cp(size):
@@ -146,6 +169,9 @@ class LineageCache:
                 self._gpu_index[ptr.id] = entry
                 ptr.cached = True
         self.stats.inc(CACHE_PUTS)
+        if self.tracer.enabled:
+            self.tracer.instant(EV_CACHE_PUT, backend=backend, size=size,
+                                opcode=key.opcode, key=key.id)
         return entry
 
     def make_space(self, backend: str, size: int) -> bool:
@@ -201,9 +227,17 @@ class LineageCache:
             entry.status = EntryStatus.SPILLED
             self._disk_bytes += entry.size
             self.stats.inc(CACHE_SPILLS)
+            if self.tracer.enabled:
+                self.tracer.instant(EV_CACHE_SPILL, size=entry.size,
+                                    opcode=entry.key.opcode,
+                                    key=entry.key.id)
         else:
             entry.drop_payload(BACKEND_CP)
         self.stats.inc(CACHE_EVICTIONS)
+        if self.tracer.enabled:
+            self.tracer.instant(EV_CACHE_EVICT, backend=BACKEND_CP,
+                                size=entry.size, opcode=entry.key.opcode,
+                                key=entry.key.id)
 
     def _should_spill(self, entry: CacheEntry) -> bool:
         """Spill only when recomputation costs more than a disk round trip."""
@@ -229,6 +263,9 @@ class LineageCache:
         self._disk_bytes -= entry.size
         self._cp_bytes += entry.size
         self.stats.inc(CACHE_RESTORES)
+        if self.tracer.enabled:
+            self.tracer.instant(EV_CACHE_RESTORE, size=entry.size,
+                                opcode=entry.key.opcode, key=entry.key.id)
         return True
 
     @property
@@ -243,6 +280,10 @@ class LineageCache:
             return
         entry.drop_payload(backend)
         self.stats.inc(CACHE_EVICTIONS)
+        if self.tracer.enabled:
+            self.tracer.instant(EV_CACHE_EVICT, backend=backend,
+                                size=entry.size, opcode=entry.key.opcode,
+                                key=entry.key.id)
 
     # -- GPU integration ---------------------------------------------------------
 
@@ -254,6 +295,11 @@ class LineageCache:
         if entry is not None:
             entry.drop_payload(BACKEND_GPU)
             self.stats.inc(CACHE_EVICTIONS)
+            if self.tracer.enabled:
+                self.tracer.instant(EV_CACHE_EVICT, backend=BACKEND_GPU,
+                                    size=entry.size,
+                                    opcode=entry.key.opcode,
+                                    key=entry.key.id)
 
     # -- maintenance ---------------------------------------------------------------
 

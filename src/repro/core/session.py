@@ -64,6 +64,7 @@ from repro.core.entry import BACKEND_CP, BACKEND_GPU, BACKEND_SP
 from repro.core.spark_cache import SparkCacheManager
 from repro.lineage.item import LineageItem, function_item, literal
 from repro.lineage.serialize import deserialize, serialize
+from repro.obs.tracer import NULL_TRACER, TraceCollector, current_collector
 from repro.runtime.handles import MatrixHandle
 from repro.runtime.interpreter import Interpreter, Slot
 from repro.runtime.placement import assign_placements, matmul_pattern
@@ -77,14 +78,29 @@ class Session:
         self.config = config or MemphisConfig.memphis()
         self.clock = SimClock()
         self.stats = Stats()
+        # structured tracing (repro.obs): an ambient collector (harness
+        # --trace) wins; otherwise the config flag creates a private one.
+        collector = current_collector()
+        if collector is None and self.config.trace_enabled:
+            collector = TraceCollector(self.config.trace_buffer)
+        self.trace_collector = collector
+        self.tracer = (
+            collector.tracer(
+                self.clock,
+                label=f"{self.config.reuse_mode.value}",
+                stats=self.stats,
+            )
+            if collector is not None else NULL_TRACER
+        )
         self.cache = LineageCache(
             self.config.cache, self.stats, clock=self.clock,
             disk_bytes_per_s=self.config.cpu.disk_bytes_per_s,
             flops_per_s=self.config.cpu.flops_per_s,
+            tracer=self.tracer,
         )
         self.cpu = CpuBackend(self.config.cpu, self.clock, self.stats)
         self.spark_context = SparkContext(
-            self.config.spark, self.clock, self.stats
+            self.config.spark, self.clock, self.stats, tracer=self.tracer
         )
         self.spark = SparkBackend(self.spark_context)
         self.spark_mgr = SparkCacheManager(
@@ -92,7 +108,7 @@ class Session:
         )
         self.gpu = GpuBackend(
             self.config.gpu, self.clock, self.stats,
-            mode=self._gpu_mode(),
+            mode=self._gpu_mode(), tracer=self.tracer,
         )
         self.gpu.memory.on_invalidate = self.cache.on_gpu_invalidate
         self.interpreter = Interpreter(self)
@@ -570,6 +586,29 @@ class Session:
     def report(self) -> str:
         """Statistics report (SystemDS ``-stats`` style)."""
         return self.stats.report()
+
+    def trace_events(self) -> list:
+        """Structured trace events recorded so far (see ``repro.obs``).
+
+        Empty unless the session was created with
+        ``MemphisConfig(trace_enabled=True)`` or inside an ambient
+        ``repro.obs.tracing()`` scope.
+        """
+        if self.trace_collector is not None:
+            return [e for e in self.trace_collector.events()
+                    if e.session == self.tracer.session_id]
+        return []
+
+    def export_trace(self, path: str) -> None:
+        """Write this session's events as a Chrome/Perfetto trace file."""
+        from repro.obs import export_chrome_trace
+
+        export_chrome_trace(
+            self.trace_events(),
+            path,
+            self.trace_collector.session_labels
+            if self.trace_collector is not None else None,
+        )
 
 
 class LoopContext:

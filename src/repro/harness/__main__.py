@@ -5,6 +5,8 @@ Usage::
     python -m repro.harness                 # run everything
     python -m repro.harness hcv pnmf        # run selected experiments
     python -m repro.harness --list          # list experiment names
+    python -m repro.harness fig11a --trace out.json
+                                            # + Chrome/Perfetto trace
 """
 
 from __future__ import annotations
@@ -44,6 +46,12 @@ def main(argv: list[str] | None = None) -> int:
                         help="experiment names (default: all)")
     parser.add_argument("--list", action="store_true",
                         help="list available experiments and exit")
+    parser.add_argument("--trace", metavar="OUT.json", default=None,
+                        help="record a structured trace of every session "
+                             "and write a Chrome/Perfetto trace file")
+    parser.add_argument("--trace-summary", action="store_true",
+                        help="with --trace: also print the text summary "
+                             "(top-k instructions, hit rates, evictions)")
     args = parser.parse_args(argv)
 
     if args.list:
@@ -57,11 +65,37 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(f"unknown experiments: {', '.join(unknown)} "
                      f"(see --list)")
 
-    for name in selected:
-        start = time.time()
-        result = EXPERIMENTS[name]()
-        print(result.table)
-        print(f"[{name}: regenerated in {time.time() - start:.1f}s wall]\n")
+    collector = None
+    if args.trace is not None:
+        from repro.obs import TraceCollector, enable_tracing
+
+        collector = TraceCollector()
+        enable_tracing(collector)
+
+    try:
+        for name in selected:
+            start = time.time()
+            result = EXPERIMENTS[name]()
+            print(result.table)
+            print(f"[{name}: regenerated in {time.time() - start:.1f}s wall]\n")
+    finally:
+        if collector is not None:
+            from repro.obs import disable_tracing, export_chrome_trace
+
+            disable_tracing()
+            events = collector.events()
+            export_chrome_trace(events, args.trace,
+                                collector.session_labels)
+            print(f"[trace: {len(events)} events from "
+                  f"{collector.num_sessions} sessions -> {args.trace}]")
+            if collector.ring.dropped:
+                print(f"[trace: ring buffer dropped "
+                      f"{collector.ring.dropped} oldest events]")
+            if args.trace_summary:
+                from repro.obs import format_summary
+
+                print()
+                print(format_summary(events))
     return 0
 
 

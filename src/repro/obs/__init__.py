@@ -1,0 +1,131 @@
+"""Structured tracing & profiling for the MEMPHIS reproduction.
+
+``repro.obs`` turns the simulator's internal mechanics — reuse probes,
+evictions, spills, prefetch overlap, Spark jobs/stages, GPU copies and
+pointer recycling, federated round-trips — into a typed event stream
+over the simulated clock, with three sinks: a bounded in-memory ring
+buffer, a JSONL writer, and a Chrome-trace/Perfetto exporter that
+renders a whole run as a timeline with one lane per backend.
+
+Enable per session (``MemphisConfig(trace_enabled=True)``), ambiently
+(``with obs.tracing() as tc: ...``), or from the CLI
+(``python -m repro.harness fig11a --trace out.json``).  See
+``docs/OBSERVABILITY.md`` for the event taxonomy and a worked example.
+"""
+
+from repro.obs.chrome import (
+    chrome_trace_dict,
+    export_chrome_trace,
+    load_chrome_trace,
+)
+from repro.obs.events import (
+    EV_BROADCAST,
+    EV_CACHE_DELAY,
+    EV_CACHE_EVICT,
+    EV_CACHE_PUT,
+    EV_CACHE_RESTORE,
+    EV_CACHE_SPILL,
+    EV_FED_REQUEST,
+    EV_GPU_D2H,
+    EV_GPU_DEFRAG,
+    EV_GPU_EVICT_D2H,
+    EV_GPU_FREE,
+    EV_GPU_H2D,
+    EV_GPU_KERNEL,
+    EV_GPU_MALLOC,
+    EV_GPU_RECYCLE,
+    EV_GPU_REUSE,
+    EV_INSTR,
+    EV_PREFETCH,
+    EV_PREFETCH_DONE,
+    EV_PROBE,
+    EV_SPARK_JOB,
+    EV_SPARK_PART_EVICT,
+    EV_SPARK_PART_SPILL,
+    EV_SPARK_SHUFFLE_REUSE,
+    EV_SPARK_STAGE,
+    Event,
+    LANE_CP,
+    LANE_FED,
+    LANE_GPU,
+    LANE_SP,
+    LANES,
+    PHASE_INSTANT,
+    PHASE_SPAN,
+)
+from repro.obs.schema import (
+    TRACE_SCHEMA,
+    assert_valid_chrome_trace,
+    validate_chrome_trace,
+)
+from repro.obs.sinks import JsonlSink, RingBufferSink, read_jsonl, write_jsonl
+from repro.obs.summary import TraceSummary, format_summary, summarize
+from repro.obs.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    TraceCollector,
+    Tracer,
+    current_collector,
+    disable_tracing,
+    enable_tracing,
+    tracing,
+)
+
+__all__ = [
+    "EV_BROADCAST",
+    "EV_CACHE_DELAY",
+    "EV_CACHE_EVICT",
+    "EV_CACHE_PUT",
+    "EV_CACHE_RESTORE",
+    "EV_CACHE_SPILL",
+    "EV_FED_REQUEST",
+    "EV_GPU_D2H",
+    "EV_GPU_DEFRAG",
+    "EV_GPU_EVICT_D2H",
+    "EV_GPU_FREE",
+    "EV_GPU_H2D",
+    "EV_GPU_KERNEL",
+    "EV_GPU_MALLOC",
+    "EV_GPU_RECYCLE",
+    "EV_GPU_REUSE",
+    "EV_INSTR",
+    "EV_PREFETCH",
+    "EV_PREFETCH_DONE",
+    "EV_PROBE",
+    "EV_SPARK_JOB",
+    "EV_SPARK_PART_EVICT",
+    "EV_SPARK_PART_SPILL",
+    "EV_SPARK_SHUFFLE_REUSE",
+    "EV_SPARK_STAGE",
+    "Event",
+    "JsonlSink",
+    "LANE_CP",
+    "LANE_FED",
+    "LANE_GPU",
+    "LANE_SP",
+    "LANES",
+    "NULL_TRACER",
+    "NullTracer",
+    "PHASE_INSTANT",
+    "PHASE_SPAN",
+    "RingBufferSink",
+    "Span",
+    "TRACE_SCHEMA",
+    "TraceCollector",
+    "TraceSummary",
+    "Tracer",
+    "assert_valid_chrome_trace",
+    "chrome_trace_dict",
+    "current_collector",
+    "disable_tracing",
+    "enable_tracing",
+    "export_chrome_trace",
+    "format_summary",
+    "load_chrome_trace",
+    "read_jsonl",
+    "summarize",
+    "tracing",
+    "validate_chrome_trace",
+    "write_jsonl",
+]

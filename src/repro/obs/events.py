@@ -1,0 +1,144 @@
+"""Typed trace events: the observability vocabulary of the system.
+
+Every runtime mechanism the paper evaluates (reuse probes, evictions,
+prefetch overlap, Spark stage barriers, GPU pointer recycling, federated
+round-trips) emits one of the event types below, carrying sim-clock
+timestamps, a backend *lane*, and — where applicable — the lineage-item
+id and hop opcode that make the event attributable to a specific
+instruction.  The taxonomy is deliberately flat and string-keyed so that
+sinks (ring buffer, JSONL, Chrome trace) need no per-type code.
+
+Phases follow the Chrome Trace Event Format: ``X`` is a *complete* event
+(``ts`` + ``dur``), ``i`` an *instant* event.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+# --------------------------------------------------------------------- lanes
+
+#: driver / local CPU instruction stream (sim timeline ``host``).
+LANE_CP = "CP"
+#: Spark cluster (sim timeline ``cluster``).
+LANE_SP = "SP"
+#: GPU device stream (sim timeline ``device``).
+LANE_GPU = "GPU"
+#: federated worker fleet (timestamps on the coordinator's host clock).
+LANE_FED = "FED"
+
+LANES = (LANE_CP, LANE_SP, LANE_GPU, LANE_FED)
+
+# -------------------------------------------------------------------- phases
+
+PHASE_SPAN = "X"
+PHASE_INSTANT = "i"
+
+# ------------------------------------------------------------ event taxonomy
+
+#: span — one instruction of the Fig. 4 main loop (args: opcode, hop,
+#: backend, lineage).
+EV_INSTR = "instr"
+
+#: instant — lineage probe against the multi-backend cache
+#: (args: hit, opcode, key).
+EV_PROBE = "cache/probe"
+#: instant — a result was stored under its lineage key.
+EV_CACHE_PUT = "cache/put"
+#: instant — delayed caching skipped a put (placeholder bump, §5.2).
+EV_CACHE_DELAY = "cache/delay"
+#: instant — a payload was evicted from a cache region (args: region).
+EV_CACHE_EVICT = "cache/evict"
+#: instant — a driver entry was spilled to local disk (§3.3).
+EV_CACHE_SPILL = "cache/spill"
+#: instant — a spilled entry was restored into the driver cache.
+EV_CACHE_RESTORE = "cache/restore"
+
+#: instant — an asynchronous prefetch/broadcast was issued (§5.1).
+EV_PREFETCH = "async/prefetch"
+#: instant — a prefetch future was waited on and resolved.
+EV_PREFETCH_DONE = "async/prefetch_done"
+EV_BROADCAST = "async/broadcast"
+
+#: span — one Spark job on the cluster lane (args: rdd, stages, tasks).
+EV_SPARK_JOB = "spark/job"
+#: span — one stage inside a job (args: kind, tasks, stage).
+EV_SPARK_STAGE = "spark/stage"
+#: instant — shuffle files of a dependency were reused (§4.1).
+EV_SPARK_SHUFFLE_REUSE = "spark/shuffle_reuse"
+#: instant — a cached partition was dropped from storage memory.
+EV_SPARK_PART_EVICT = "spark/partition_evicted"
+#: instant — a cached partition moved to executor-local disk.
+EV_SPARK_PART_SPILL = "spark/partition_spilled"
+
+#: span — host-to-device copy on the GPU lane.
+EV_GPU_H2D = "gpu/h2d"
+#: span — device-to-host copy (synchronization barrier).
+EV_GPU_D2H = "gpu/d2h"
+#: span — one kernel on the device timeline.
+EV_GPU_KERNEL = "gpu/kernel"
+EV_GPU_MALLOC = "gpu/malloc"
+EV_GPU_FREE = "gpu/free"
+#: instant — a Free-list pointer was recycled in place (Algorithm 1).
+EV_GPU_RECYCLE = "gpu/recycle"
+#: instant — a lineage-cache hit moved a pointer Free -> Live (Fig. 8(c)).
+EV_GPU_REUSE = "gpu/reuse"
+#: instant — a free pointer was evicted device-to-host.
+EV_GPU_EVICT_D2H = "gpu/evict_to_host"
+EV_GPU_DEFRAG = "gpu/defrag"
+
+#: span — one federated request round-trip (submit -> last response).
+EV_FED_REQUEST = "fed/request"
+
+
+@dataclass
+class Event:
+    """One structured trace event.
+
+    ``ts``/``dur`` are simulated seconds; the Chrome exporter converts
+    to microseconds.  ``session`` distinguishes concurrently traced
+    :class:`~repro.core.session.Session` objects (one Perfetto process
+    group each).
+    """
+
+    name: str
+    ph: str
+    ts: float
+    lane: str = LANE_CP
+    dur: float = 0.0
+    session: int = 0
+    args: Optional[dict] = None
+
+    def to_json(self) -> dict:
+        """Plain-dict form used by the JSONL sink (lossless round-trip)."""
+        out = {
+            "name": self.name,
+            "ph": self.ph,
+            "ts": self.ts,
+            "lane": self.lane,
+            "session": self.session,
+        }
+        if self.ph == PHASE_SPAN:
+            out["dur"] = self.dur
+        if self.args:
+            out["args"] = self.args
+        return out
+
+    @classmethod
+    def from_json(cls, data: dict) -> "Event":
+        """Inverse of :meth:`to_json`."""
+        return cls(
+            name=data["name"],
+            ph=data["ph"],
+            ts=float(data["ts"]),
+            lane=data.get("lane", LANE_CP),
+            dur=float(data.get("dur", 0.0)),
+            session=int(data.get("session", 0)),
+            args=data.get("args"),
+        )
+
+    @property
+    def end(self) -> float:
+        """End time of a span (== ``ts`` for instants)."""
+        return self.ts + self.dur

@@ -1,0 +1,151 @@
+"""Post-run trace analysis: the harness's ``--trace`` summary report.
+
+Distills an event stream into the three answers the paper's evaluation
+keeps asking (§6): where did the time go (top-k slowest instructions),
+did reuse work (hit rate per reuse site, i.e. per opcode that was
+probed), and who paid for memory pressure (eviction counts per cache
+region).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.obs.events import (
+    EV_CACHE_EVICT,
+    EV_CACHE_SPILL,
+    EV_GPU_EVICT_D2H,
+    EV_GPU_RECYCLE,
+    EV_INSTR,
+    EV_PROBE,
+    EV_SPARK_PART_EVICT,
+    EV_SPARK_PART_SPILL,
+    Event,
+)
+
+#: eviction-flavoured event name -> reported cache region.
+_EVICTION_REGIONS = {
+    EV_CACHE_EVICT: "driver-cache",
+    EV_CACHE_SPILL: "driver-disk-spill",
+    EV_SPARK_PART_EVICT: "spark-storage",
+    EV_SPARK_PART_SPILL: "spark-disk-spill",
+    EV_GPU_RECYCLE: "gpu-recycled",
+    EV_GPU_EVICT_D2H: "gpu-evict-to-host",
+}
+
+
+@dataclass
+class ReuseSite:
+    """Probe outcomes for one reuse site (opcode)."""
+
+    opcode: str
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def probes(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.probes if self.probes else 0.0
+
+
+@dataclass
+class TraceSummary:
+    """Aggregates computed by :func:`summarize`."""
+
+    num_events: int = 0
+    num_sessions: int = 0
+    #: slowest individual instruction spans, descending duration.
+    slowest: list[Event] = field(default_factory=list)
+    #: opcode -> (count, total seconds) over all instruction spans.
+    by_opcode: dict[str, tuple[int, float]] = field(default_factory=dict)
+    #: opcode -> probe hit/miss tallies.
+    reuse_sites: dict[str, ReuseSite] = field(default_factory=dict)
+    #: cache region -> eviction count.
+    evictions: dict[str, int] = field(default_factory=dict)
+
+
+def summarize(events: Iterable[Event], top_k: int = 10) -> TraceSummary:
+    """Single pass over ``events`` building a :class:`TraceSummary`."""
+    summary = TraceSummary()
+    sessions: set[int] = set()
+    spans: list[Event] = []
+    totals: dict[str, list] = defaultdict(lambda: [0, 0.0])
+    for event in events:
+        summary.num_events += 1
+        sessions.add(event.session)
+        if event.name == EV_INSTR:
+            spans.append(event)
+            opcode = (event.args or {}).get("opcode", "?")
+            totals[opcode][0] += 1
+            totals[opcode][1] += event.dur
+        elif event.name == EV_PROBE:
+            args = event.args or {}
+            opcode = args.get("opcode", "?")
+            site = summary.reuse_sites.setdefault(opcode, ReuseSite(opcode))
+            if args.get("hit"):
+                site.hits += 1
+            else:
+                site.misses += 1
+        elif event.name in _EVICTION_REGIONS:
+            region = _EVICTION_REGIONS[event.name]
+            summary.evictions[region] = summary.evictions.get(region, 0) + 1
+    spans.sort(key=lambda e: e.dur, reverse=True)
+    summary.slowest = spans[:top_k]
+    summary.by_opcode = {op: (c, t) for op, (c, t) in totals.items()}
+    summary.num_sessions = len(sessions)
+    return summary
+
+
+def format_summary(events: Iterable[Event], top_k: int = 10) -> str:
+    """Human-readable report over one traced run."""
+    s = summarize(events, top_k)
+    lines = ["=== trace summary ==="]
+    lines.append(f"events: {s.num_events}   sessions: {s.num_sessions}")
+
+    if s.slowest:
+        lines.append("")
+        lines.append(f"-- top {len(s.slowest)} slowest instructions --")
+        for event in s.slowest:
+            args = event.args or {}
+            label = f"{args.get('opcode', '?')}#{args.get('hop', '?')}"
+            backend = args.get("backend", "?")
+            lines.append(
+                f"{label:<24s} {backend:<4s} {event.dur * 1e3:10.3f} ms"
+                f"  @ {event.ts * 1e3:.3f} ms  [s{event.session}]"
+            )
+
+    if s.by_opcode:
+        lines.append("")
+        lines.append("-- time by opcode --")
+        ranked = sorted(
+            s.by_opcode.items(), key=lambda kv: kv[1][1], reverse=True
+        )
+        for opcode, (count, total) in ranked[:top_k]:
+            lines.append(
+                f"{opcode:<24s} {count:>6d} x {total * 1e3:10.3f} ms total"
+            )
+
+    if s.reuse_sites:
+        lines.append("")
+        lines.append("-- reuse hit rate per site --")
+        ranked_sites = sorted(
+            s.reuse_sites.values(), key=lambda r: r.probes, reverse=True
+        )
+        for site in ranked_sites[:top_k]:
+            lines.append(
+                f"{site.opcode:<24s} {site.hits:>6d}/{site.probes:<6d}"
+                f" hits ({site.hit_rate:6.1%})"
+            )
+
+    if s.evictions:
+        lines.append("")
+        lines.append("-- evictions per region --")
+        for region in sorted(s.evictions):
+            lines.append(f"{region:<24s} {s.evictions[region]:>8d}")
+
+    return "\n".join(lines)

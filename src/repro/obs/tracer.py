@@ -1,0 +1,295 @@
+"""The tracer: nested spans and typed events over the simulated clock.
+
+A :class:`Tracer` is bound to one session's :class:`SimClock` and stamps
+every event with the simulated time of the backend lane it belongs to
+(``CP`` -> host timeline, ``SP`` -> cluster, ``GPU`` -> device).  Spans
+nest: while an instruction span is open, every event emitted by the
+cache, the Spark simulator, or the GPU memory manager is automatically
+attributed to that instruction (``args["instr"]``), which is what lets a
+timeline viewer answer *which instruction caused this eviction*.
+
+Tracing is opt-in and designed to cost ~zero when off: the module-level
+:data:`NULL_TRACER` singleton has ``enabled = False`` and no-op methods,
+and every hot-path call site guards on ``tracer.enabled`` before
+building argument dictionaries.
+
+A :class:`TraceCollector` aggregates events (and statistics registries)
+across *multiple* sessions — the benchmark harness traces whole
+experiment grids into one timeline, one Perfetto process per session.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator, Optional
+
+from repro.common.simclock import CLUSTER, DEVICE, HOST, SimClock
+from repro.common.stats import Stats
+from repro.obs.events import (
+    EV_INSTR,
+    Event,
+    LANE_CP,
+    LANE_FED,
+    LANE_GPU,
+    LANE_SP,
+    PHASE_INSTANT,
+    PHASE_SPAN,
+)
+from repro.obs.sinks import RingBufferSink
+
+#: lane -> sim-clock timeline whose "now" stamps the lane's events.
+LANE_TIMELINES = {
+    LANE_CP: HOST,
+    LANE_SP: CLUSTER,
+    LANE_GPU: DEVICE,
+    LANE_FED: HOST,
+}
+
+
+class Span:
+    """Context manager recording one complete (``X``) event on exit."""
+
+    __slots__ = ("tracer", "name", "lane", "args", "start", "label")
+
+    def __init__(self, tracer: "Tracer", name: str, lane: str,
+                 args: Optional[dict]) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.lane = lane
+        self.args = args
+        self.start = 0.0
+        #: attribution label for nested events (opcode#hop when present).
+        if args and "opcode" in args:
+            self.label = f"{args['opcode']}#{args.get('hop', '?')}"
+        else:
+            self.label = name
+
+    def __enter__(self) -> "Span":
+        self.start = self.tracer.now(self.lane)
+        self.tracer._stack.append(self)
+        return self
+
+    def __exit__(self, *exc) -> Optional[bool]:
+        stack = self.tracer._stack
+        if stack and stack[-1] is self:
+            stack.pop()
+        end = self.tracer.now(self.lane)
+        self.tracer.emit(Event(
+            self.name, PHASE_SPAN, self.start, self.lane,
+            max(0.0, end - self.start), self.tracer.session_id, self.args,
+        ))
+        return None
+
+
+class Tracer:
+    """Per-session event producer; all emissions go to shared sinks."""
+
+    enabled = True
+
+    def __init__(self, clock: SimClock, session_id: int = 0,
+                 sinks: Optional[list] = None) -> None:
+        self.clock = clock
+        self.session_id = session_id
+        self.sinks = sinks if sinks is not None else [RingBufferSink()]
+        self._stack: list[Span] = []
+
+    # -- time ---------------------------------------------------------------
+
+    def now(self, lane: str = LANE_CP) -> float:
+        """Simulated time of ``lane``'s backing timeline."""
+        return self.clock.now(LANE_TIMELINES[lane])
+
+    # -- emission -----------------------------------------------------------
+
+    def emit(self, event: Event) -> None:
+        """Dispatch one finished event to every sink."""
+        for sink in self.sinks:
+            sink.emit(event)
+
+    def instant(self, name: str, lane: str = LANE_CP,
+                ts: Optional[float] = None, **args) -> None:
+        """Record a point-in-time event (``ph: i``)."""
+        self.emit(Event(
+            name, PHASE_INSTANT,
+            self.now(lane) if ts is None else ts,
+            lane, 0.0, self.session_id, self._attributed(args),
+        ))
+
+    def span(self, name: str, lane: str = LANE_CP, **args) -> Span:
+        """Open a nested span; the event is emitted when the span exits."""
+        return Span(self, name, lane, args or None)
+
+    def complete(self, name: str, lane: str, start: float, end: float,
+                 **args) -> None:
+        """Record a span whose interval is already known (async work)."""
+        self.emit(Event(
+            name, PHASE_SPAN, start, lane, max(0.0, end - start),
+            self.session_id, self._attributed(args),
+        ))
+
+    # -- attribution --------------------------------------------------------
+
+    @property
+    def current_instruction(self) -> Optional[str]:
+        """Label of the innermost open instruction span, if any."""
+        for span in reversed(self._stack):
+            if span.name == EV_INSTR:
+                return span.label
+        return None
+
+    def _attributed(self, args: dict) -> Optional[dict]:
+        if self._stack and "instr" not in args:
+            instr = self.current_instruction
+            if instr is not None:
+                args["instr"] = instr
+        return args or None
+
+    # -- convenience --------------------------------------------------------
+
+    def events(self) -> list[Event]:
+        """Events of the first ring-buffer sink (empty if none attached)."""
+        for sink in self.sinks:
+            if isinstance(sink, RingBufferSink):
+                return sink.events()
+        return []
+
+
+class NullTracer:
+    """Disabled tracer: every operation is a no-op.
+
+    Hot paths check :attr:`enabled` (a plain attribute load) before
+    constructing event arguments, so a session without tracing pays no
+    measurable cost per instruction.
+    """
+
+    enabled = False
+    session_id = -1
+
+    def now(self, lane: str = LANE_CP) -> float:
+        return 0.0
+
+    def emit(self, event: Event) -> None:
+        pass
+
+    def instant(self, name: str, lane: str = LANE_CP,
+                ts: Optional[float] = None, **args) -> None:
+        pass
+
+    def span(self, name: str, lane: str = LANE_CP, **args) -> "_NullSpan":
+        return _NULL_SPAN
+
+    def complete(self, name: str, lane: str, start: float, end: float,
+                 **args) -> None:
+        pass
+
+    @property
+    def current_instruction(self) -> Optional[str]:
+        return None
+
+    def events(self) -> list[Event]:
+        return []
+
+
+class _NullSpan:
+    """Reusable no-op context manager returned by :class:`NullTracer`."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+#: process-wide disabled tracer shared by every untraced session.
+NULL_TRACER = NullTracer()
+
+
+class TraceCollector:
+    """Shared event store for one traced run (possibly many sessions).
+
+    Sessions created while a collector is active (see
+    :func:`enable_tracing`) register here: each gets a fresh
+    :class:`Tracer` with a distinct session id writing into the
+    collector's sinks, and contributes its :class:`Stats` registry to
+    the aggregate the harness summary reports.
+    """
+
+    def __init__(self, capacity: int = 1 << 18) -> None:
+        self.ring = RingBufferSink(capacity)
+        self.sinks: list = [self.ring]
+        self.session_labels: dict[int, str] = {}
+        self._stats: list[Stats] = []
+        self._next_session = 0
+
+    def add_sink(self, sink) -> None:
+        """Attach an additional sink (e.g. a streaming JSONL writer)."""
+        self.sinks.append(sink)
+
+    def tracer(self, clock: SimClock, label: str = "",
+               stats: Optional[Stats] = None) -> Tracer:
+        """Create the tracer for one session; registers its stats."""
+        session_id = self._next_session
+        self._next_session += 1
+        self.session_labels[session_id] = label or f"session-{session_id}"
+        if stats is not None:
+            self._stats.append(stats)
+        return Tracer(clock, session_id, self.sinks)
+
+    def events(self) -> list[Event]:
+        """All buffered events across sessions."""
+        return self.ring.events()
+
+    def aggregate_stats(self) -> Stats:
+        """Merge every registered session's counters into one registry."""
+        total = Stats()
+        for stats in self._stats:
+            total.merge(stats)
+        return total
+
+    @property
+    def num_sessions(self) -> int:
+        return self._next_session
+
+
+# -- ambient (process-wide) tracing state -----------------------------------
+
+_active_collector: Optional[TraceCollector] = None
+
+
+def enable_tracing(collector: Optional[TraceCollector] = None) -> TraceCollector:
+    """Install ``collector`` (or a fresh one) as the ambient collector.
+
+    Every :class:`~repro.core.session.Session` constructed while a
+    collector is active traces into it, regardless of its config flag —
+    this is how ``python -m repro.harness --trace`` captures sessions
+    created deep inside workload drivers.
+    """
+    global _active_collector
+    _active_collector = collector or TraceCollector()
+    return _active_collector
+
+
+def disable_tracing() -> Optional[TraceCollector]:
+    """Clear the ambient collector; returns it for export."""
+    global _active_collector
+    collector, _active_collector = _active_collector, None
+    return collector
+
+
+def current_collector() -> Optional[TraceCollector]:
+    """The ambient collector, or ``None`` when tracing is off."""
+    return _active_collector
+
+
+@contextlib.contextmanager
+def tracing(collector: Optional[TraceCollector] = None) -> Iterator[TraceCollector]:
+    """Scoped ambient tracing: ``with tracing() as tc: ...``."""
+    tc = enable_tracing(collector)
+    try:
+        yield tc
+    finally:
+        disable_tracing()

@@ -42,6 +42,13 @@ from repro.core.entry import (
     CacheEntry,
 )
 from repro.lineage.item import LineageItem, dataset, literal
+from repro.obs.events import (
+    EV_BROADCAST,
+    EV_INSTR,
+    EV_PREFETCH,
+    EV_PREFETCH_DONE,
+    LANE_CP,
+)
 from repro.runtime.placement import (
     SPARK_AGG_ACTION,
     SPARK_AGG_MAP,
@@ -101,6 +108,7 @@ class Interpreter:
         self.stats = session.stats
         self.clock = session.clock
         self.cache = session.cache
+        self.tracer = session.tracer
 
     # ------------------------------------------------------------------ top level
 
@@ -151,15 +159,33 @@ class Interpreter:
             slot.fused_from = in_slots[0]
             return slot
 
+        # the instruction span covers REUSE + EXECUTE + PUT on the driver
+        # lane, so every cache/backend event emitted underneath carries
+        # this instruction's label (opcode#hop) for attribution
+        if self.tracer.enabled:
+            with self.tracer.span(
+                EV_INSTR, LANE_CP,
+                opcode=hop.opcode, hop=hop.id,
+                backend=hop.placement or BACKEND_CP, lineage=item.id,
+            ):
+                self._reuse_or_execute(hop, slot, in_slots, gpu_created, mode)
+        else:
+            self._reuse_or_execute(hop, slot, in_slots, gpu_created, mode)
+        return slot
+
+    def _reuse_or_execute(self, hop: Hop, slot: Slot, in_slots: list[Slot],
+                          gpu_created: list[GpuData],
+                          mode: ReuseMode) -> None:
+        """REUSE probe, backend execution, async rewrites, and PUT."""
         # REUSE (LIMA traces and reuses only local CPU instructions)
         local_only_skip = (
             mode is ReuseMode.LOCAL_ONLY and hop.placement != BACKEND_CP
         )
         if self._probe_enabled(mode) and not local_only_skip:
-            entry = self._probe(hop, item)
+            entry = self._probe(hop, slot.lineage)
             if entry is not None:
                 self._apply_reuse(hop, slot, entry)
-                return slot
+                return
 
         # EXECUTE
         backend = hop.placement or BACKEND_CP
@@ -188,7 +214,6 @@ class Interpreter:
         # PUT
         if self._put_enabled(mode):
             self._put(hop, slot)
-        return slot
 
     # ----------------------------------------------------------------- trace / reuse
 
@@ -295,7 +320,10 @@ class Interpreter:
         if BACKEND_CP in slot.payloads:
             return slot.payloads[BACKEND_CP]
         if slot.future is not None:
+            label = slot.future.label
             raw = slot.future.wait()
+            if self.tracer.enabled:
+                self.tracer.instant(EV_PREFETCH_DONE, LANE_CP, label=label)
             value = raw if isinstance(raw, (MatrixValue, ScalarValue)) \
                 else MatrixValue(raw)
             slot.payloads[BACKEND_CP] = value
@@ -572,6 +600,10 @@ class Interpreter:
                 label=f"agg:{op}",
             )
             self.stats.inc(PREFETCH_ISSUED)
+            if self.tracer.enabled:
+                self.tracer.instant(EV_PREFETCH, LANE_CP,
+                                    label=f"agg:{op}",
+                                    ready=raw.ready_time)
         else:
             slot.payloads[BACKEND_CP] = finish(sc.reduce(partial, combine))
 
@@ -620,12 +652,19 @@ class Interpreter:
             dm: DistributedMatrix = slot.payloads[BACKEND_SP]
             slot.future = self.session.spark.sc.collect_async(dm.rdd)
             self.stats.inc(PREFETCH_ISSUED)
+            if self.tracer.enabled:
+                self.tracer.instant(EV_PREFETCH, LANE_CP,
+                                    label=slot.future.label,
+                                    ready=slot.future.ready_time)
         elif BACKEND_GPU in slot.payloads:
             data: GpuData = slot.payloads[BACKEND_GPU]
             ready = self.session.gpu.to_host_async(data)
             slot.future = SimFuture(self.clock, ready, data.value,
                                     label="gpu_prefetch")
             self.stats.inc(PREFETCH_ISSUED)
+            if self.tracer.enabled:
+                self.tracer.instant(EV_PREFETCH, LANE_CP,
+                                    label="gpu_prefetch", ready=ready)
 
     def _issue_broadcast(self, slot: Slot) -> None:
         """Asynchronously partition + register a broadcast variable."""
@@ -638,4 +677,6 @@ class Interpreter:
         # so only the registration latency is charged
         slot.broadcast = self.session.spark.broadcast(value)
         self.stats.inc(BROADCAST_ISSUED)
+        if self.tracer.enabled:
+            self.tracer.instant(EV_BROADCAST, LANE_CP, nbytes=value.nbytes)
 
