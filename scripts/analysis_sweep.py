@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Run the static IR verifier over the quickstart example and every
+registered workload, failing on any error-severity diagnostic.
+
+This is the repository's self-lint gate (run by
+``.github/workflows/lint.yml``): the analyzer must report zero errors
+over all programs the repo itself compiles.
+
+Usage::
+
+    python scripts/analysis_sweep.py
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO, "src"))
+sys.path.insert(0, os.path.join(REPO, "examples"))
+
+import numpy as np  # noqa: E402
+
+from repro import MemphisConfig, Session  # noqa: E402
+from repro.analysis import collecting  # noqa: E402
+from repro.analysis.targets import TARGETS  # noqa: E402
+
+
+def sweep_quickstart() -> None:
+    """The README's grid-search example at a small size."""
+    from quickstart import grid_search
+
+    rng = np.random.default_rng(1)
+    X = rng.random((256, 16))
+    y = X @ rng.random((16, 1)) + 0.01 * rng.random((256, 1))
+    grid_search(Session(MemphisConfig.memphis()), X, y,
+                regs=[0.01, 0.1, 1.0])
+
+
+def main() -> int:
+    sweeps = [("quickstart", sweep_quickstart)]
+    sweeps += [(name, thunk) for name, (_, thunk) in TARGETS.items()]
+
+    failed = 0
+    for name, thunk in sweeps:
+        with collecting() as collector:
+            thunk()
+        report = collector.merged()
+        errors = report.errors()
+        status = f"{len(errors)} error(s)" if errors else "clean"
+        print(f"{name:12s} {collector.blocks_verified:5d} block(s)  "
+              f"[{report.summary()}] -> {status}")
+        for diag in errors:
+            print("   " + diag.format().replace("\n", "\n   "))
+        failed += len(errors)
+
+    if failed:
+        print(f"FAIL: {failed} error-severity diagnostic(s)")
+        return 1
+    print(f"OK: {len(sweeps)} program(s) verified, zero errors")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

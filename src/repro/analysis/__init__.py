@@ -1,0 +1,71 @@
+"""Static IR verification & dataflow linting for compiled programs.
+
+``repro.analysis`` is a pass manager over (a) post-rewrite HOP DAGs and
+(b) linearized instruction streams, checking the invariants the
+compiler and runtime otherwise assume silently: DAG structure and shape
+consistency, backend-placement legality, def-before-use soundness of
+any proposed linearization (Algorithm 2 included), liveness/leaks,
+async-operator hazards (§5.1), and lineage-key determinism (§3).
+
+Three entry points:
+
+* ``MemphisConfig(verify_ir=True)`` — every compiled block is verified
+  inside :meth:`Session.evaluate`; error-severity findings raise
+  :class:`~repro.common.errors.VerificationError` before execution;
+* ``python -m repro.analysis [workload ...]`` — run registered
+  workloads under an ambient collector and report all findings;
+* ``python -m repro.harness ... --verify-ir`` — same collector wired
+  into the experiment harness.
+
+See ``docs/ANALYSIS.md`` for the rule catalog.
+"""
+
+from repro.analysis.base import (
+    AnalysisContext,
+    AnalysisPass,
+    register_pass,
+    registered_passes,
+)
+from repro.analysis.dataflow import StreamDefUse, consumers_of, walk_dag
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    DiagnosticReport,
+    Severity,
+)
+from repro.analysis.hook import (
+    AnalysisCollector,
+    collecting,
+    current_collector,
+    install_collector,
+    uninstall_collector,
+)
+from repro.analysis.manager import (
+    DEFAULT_PASS_ORDER,
+    PassManager,
+    analyze,
+    check_linearization,
+    verify_ir,
+)
+
+__all__ = [
+    "AnalysisCollector",
+    "AnalysisContext",
+    "AnalysisPass",
+    "DEFAULT_PASS_ORDER",
+    "Diagnostic",
+    "DiagnosticReport",
+    "PassManager",
+    "Severity",
+    "StreamDefUse",
+    "analyze",
+    "check_linearization",
+    "collecting",
+    "consumers_of",
+    "current_collector",
+    "install_collector",
+    "register_pass",
+    "registered_passes",
+    "uninstall_collector",
+    "verify_ir",
+    "walk_dag",
+]

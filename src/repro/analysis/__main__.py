@@ -1,0 +1,119 @@
+"""CLI: run registered workloads under the IR verifier and report.
+
+Usage::
+
+    python -m repro.analysis                  # analyze every target
+    python -m repro.analysis hcv pnmf         # selected targets
+    python -m repro.analysis --list           # list targets
+    python -m repro.analysis --list-passes    # list analysis passes
+    python -m repro.analysis --min-severity info --format json
+
+Exit status is 1 iff any error-severity diagnostic was produced (the
+CI lint gate runs this over all targets).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.analysis.diagnostics import Severity
+from repro.analysis.hook import collecting
+from repro.analysis.manager import DEFAULT_PASS_ORDER
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Statically verify the IR of compiled workload "
+                    "programs (DAG structure, placement legality, "
+                    "linearization soundness, liveness, async races, "
+                    "lineage determinism).",
+    )
+    parser.add_argument("targets", nargs="*",
+                        help="target names (default: all registered)")
+    parser.add_argument("--list", action="store_true",
+                        help="list available targets and exit")
+    parser.add_argument("--list-passes", action="store_true",
+                        help="list analysis passes in pipeline order "
+                             "and exit")
+    parser.add_argument("--min-severity", default="warning",
+                        choices=["info", "warning", "error"],
+                        help="lowest severity to print individually "
+                             "(default: warning; counts always shown)")
+    parser.add_argument("--format", default="text",
+                        choices=["text", "json"],
+                        help="output format (default: text)")
+    args = parser.parse_args(argv)
+
+    if args.list_passes:
+        from repro.analysis.base import registered_passes
+
+        passes = registered_passes()
+        for name in DEFAULT_PASS_ORDER:
+            cls = passes[name]
+            print(f"{name:28s} [{cls.runs_on}]  {cls.__doc__.splitlines()[0]}")
+        return 0
+
+    # Imported lazily: pulls in the workload package -> Session.
+    from repro.analysis import targets as target_registry
+
+    if args.list:
+        for name, (desc, _) in target_registry.TARGETS.items():
+            print(f"{name:10s} {desc}")
+        return 0
+
+    try:
+        selected = target_registry.resolve(args.targets)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+
+    min_sev = Severity.parse(args.min_severity)
+    results = []
+    total_errors = 0
+    for name, thunk in selected.items():
+        start = time.perf_counter()
+        with collecting() as collector:
+            thunk()
+        elapsed = time.perf_counter() - start
+        report = collector.merged()
+        total_errors += len(report.errors())
+        results.append((name, collector, report, elapsed))
+
+    if args.format == "json":
+        payload = {
+            "targets": {
+                name: {
+                    "blocks_verified": collector.blocks_verified,
+                    "counts": report.counts(),
+                    "diagnostics": [d.to_json() for d in report],
+                }
+                for name, collector, report, _ in results
+            },
+            "total_errors": total_errors,
+        }
+        print(json.dumps(payload, indent=2))
+        return 1 if total_errors else 0
+
+    for name, collector, report, elapsed in results:
+        counts = report.counts()
+        print(f"== {name}: {collector.blocks_verified} block(s) verified "
+              f"in {elapsed:.2f}s -- {report.summary()}")
+        shown = report.format(min_severity=min_sev)
+        if shown:
+            print(shown)
+        hidden = len(report) - len(report.at_least(min_sev))
+        if hidden:
+            print(f"   ({hidden} finding(s) below "
+                  f"{min_sev.label!r} hidden; use --min-severity info)")
+    print(f"-- {len(results)} target(s), "
+          f"{sum(c for _, _, r, _ in results for c in [len(r)])} "
+          f"finding(s), {total_errors} error(s)")
+    return 1 if total_errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

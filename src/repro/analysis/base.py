@@ -1,0 +1,81 @@
+"""Analysis pass protocol and registry.
+
+A pass inspects one compiled program — the post-rewrite HOP DAG and/or
+its linearized instruction stream — and reports findings through the
+shared diagnostics model.  Passes are registered by name so the pass
+manager, the CLI (``--passes``), and the docs' rule catalog all share
+one source of truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.common.config import MemphisConfig
+from repro.compiler.ir import Hop
+
+
+@dataclass
+class AnalysisContext:
+    """Everything a pass may inspect for one compiled program.
+
+    ``roots`` are the output hops of one basic block after rewrites;
+    ``order`` is the proposed linearization (``None`` when only the DAG
+    is available, e.g. :meth:`Hop.validate`).  ``nodes`` caches the
+    cycle-safe post-order so each pass does not re-walk the DAG, and
+    ``cyclic`` short-circuits passes that require an acyclic graph.
+    """
+
+    roots: list[Hop]
+    order: Optional[list[Hop]] = None
+    config: MemphisConfig = field(default_factory=MemphisConfig)
+    nodes: list[Hop] = field(default_factory=list)
+    cyclic: bool = False
+
+
+class AnalysisPass:
+    """Base class: subclasses override :meth:`run`."""
+
+    #: registry key and diagnostic ``passname``.
+    name: str = "abstract"
+    #: ``"dag"`` passes need only roots; ``"stream"`` passes are skipped
+    #: when no linearized order is available.
+    runs_on: str = "dag"
+    #: skipped when the DAG contains a cycle (most dataflow is undefined
+    #: on cyclic graphs; dag-verify itself reports the cycle).
+    requires_acyclic: bool = True
+
+    def run(self, ctx: AnalysisContext) -> list[Diagnostic]:
+        raise NotImplementedError
+
+    def diag(self, rule: str, severity: Severity, message: str,
+             hop: Optional[Hop] = None,
+             hint: Optional[str] = None) -> Diagnostic:
+        """Build a diagnostic attributed to this pass (and a hop)."""
+        return Diagnostic(
+            rule=rule,
+            severity=severity,
+            message=message,
+            passname=self.name,
+            hop=hop.id if hop is not None else None,
+            opcode=hop.opcode if hop is not None else None,
+            hint=hint,
+        )
+
+
+_REGISTRY: dict[str, type[AnalysisPass]] = {}
+
+
+def register_pass(cls: type[AnalysisPass]) -> type[AnalysisPass]:
+    """Class decorator adding a pass to the global registry."""
+    if cls.name in _REGISTRY:
+        raise ValueError(f"duplicate analysis pass name {cls.name!r}")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def registered_passes() -> dict[str, type[AnalysisPass]]:
+    """Snapshot of the pass registry (name -> class)."""
+    return dict(_REGISTRY)

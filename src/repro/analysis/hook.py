@@ -1,0 +1,87 @@
+"""Ambient diagnostic collection across sessions.
+
+Mirrors ``repro.obs``'s ambient-collector pattern: installing an
+:class:`AnalysisCollector` makes every subsequently created
+:class:`~repro.core.session.Session` verify each compiled block and
+deposit the resulting diagnostics here — without flipping
+``config.verify_ir`` (so nothing raises and partially broken programs
+still run to completion).  This is what powers
+``python -m repro.analysis`` and the harness ``--verify-ir`` flag, both
+of which analyze whole workloads made of many sessions.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator, Optional
+
+from repro.analysis.diagnostics import Diagnostic, DiagnosticReport
+
+
+class AnalysisCollector:
+    """Accumulates diagnostic reports from every verified block."""
+
+    def __init__(self) -> None:
+        self.reports: list[tuple[str, DiagnosticReport]] = []
+        self.blocks_verified = 0
+
+    def add(self, report: DiagnosticReport, label: str = "") -> None:
+        self.blocks_verified += 1
+        if report:
+            self.reports.append((label, report))
+
+    def merged(self) -> DiagnosticReport:
+        """All diagnostics of all blocks, deduplicated.
+
+        The same hop DAG is often recompiled every loop iteration; a
+        finding repeated with identical rule/hop/message is reported
+        once.
+        """
+        seen: set[tuple] = set()
+        out = DiagnosticReport()
+        for _, report in self.reports:
+            for diag in report:
+                key = (diag.rule, diag.hop, diag.opcode, diag.message)
+                if key in seen:
+                    continue
+                seen.add(key)
+                out.add(diag)
+        return out
+
+    def errors(self) -> list[Diagnostic]:
+        return self.merged().errors()
+
+
+_current: Optional[AnalysisCollector] = None
+
+
+def install_collector(collector: AnalysisCollector) -> None:
+    """Make ``collector`` ambient for sessions created from now on."""
+    global _current
+    _current = collector
+
+
+def uninstall_collector() -> None:
+    global _current
+    _current = None
+
+
+def current_collector() -> Optional[AnalysisCollector]:
+    """The ambient collector, if one is installed."""
+    return _current
+
+
+@contextlib.contextmanager
+def collecting() -> Iterator[AnalysisCollector]:
+    """Scope with an ambient collector installed::
+
+        with analysis.collecting() as found:
+            run_workload(...)
+        assert not found.errors()
+    """
+    collector = AnalysisCollector()
+    install_collector(collector)
+    try:
+        yield collector
+    finally:
+        uninstall_collector()

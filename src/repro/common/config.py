@@ -201,6 +201,12 @@ class MemphisConfig:
     trace_enabled: bool = False
     #: ring-buffer capacity (events) when tracing is enabled.
     trace_buffer: int = 1 << 18
+    #: static IR verification (``repro.analysis``): when True every
+    #: compiled block is run through the analysis pass pipeline after
+    #: rewrites + linearization and the session raises
+    #: :class:`~repro.common.errors.VerificationError` on any
+    #: error-severity diagnostic before executing the stream.
+    verify_ir: bool = False
     #: RNG seed for the framework's own randomized choices.
     seed: int = 42
 

@@ -15,6 +15,19 @@ class CompilationError(MemphisError):
     """Raised when a program or DAG cannot be compiled."""
 
 
+class VerificationError(CompilationError):
+    """Raised by the static IR verifier on error-severity diagnostics.
+
+    ``report`` carries the full
+    :class:`~repro.analysis.diagnostics.DiagnosticReport` (including
+    warnings) for programmatic inspection.
+    """
+
+    def __init__(self, message: str, report=None) -> None:
+        super().__init__(message)
+        self.report = report
+
+
 class PlacementError(MemphisError):
     """Raised when no backend can execute an operator."""
 

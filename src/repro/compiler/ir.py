@@ -190,7 +190,17 @@ class Hop:
         )
 
     def iter_dag(self):
-        """Every distinct node reachable from this hop (post-order)."""
+        """Every distinct node reachable from this hop, exactly once.
+
+        The order is the **deterministic left-to-right post-order**:
+        each node's inputs are fully visited before the node itself,
+        first input's subtree first, and shared sub-DAGs are yielded at
+        their first (leftmost) occurrence.  For a single root this is
+        identical to :func:`repro.compiler.linearize.depth_first`;
+        compiler passes rely on this order being stable so that rewrite
+        decisions (e.g. ``max_parallelize`` tie-breaking) are
+        reproducible across runs.
+        """
         seen: set[int] = set()
         stack: list[tuple[Hop, bool]] = [(self, False)]
         while stack:
@@ -203,8 +213,32 @@ class Hop:
             if node.id in seen:
                 continue
             stack.append((node, True))
-            for inp in node.inputs:
+            for inp in reversed(node.inputs):
                 stack.append((inp, False))
+
+    def validate(self, raise_on_error: bool = True):
+        """Structurally verify the DAG rooted here (dag-verify pass).
+
+        Convenience wrapper over :mod:`repro.analysis`: runs the
+        ``dag-verify`` pass (cycles, dangling data leaves, shape
+        consistency with :func:`infer_shape`, kind legality) and returns
+        the resulting
+        :class:`~repro.analysis.diagnostics.DiagnosticReport`.  With
+        ``raise_on_error`` (default), error-severity findings raise
+        :class:`~repro.common.errors.VerificationError` instead.
+        """
+        from repro.analysis import analyze
+        from repro.common.errors import VerificationError
+
+        report = analyze([self], passes=("dag-verify",))
+        errors = report.errors()
+        if raise_on_error and errors:
+            raise VerificationError(
+                f"invalid HOP DAG ({len(errors)} error(s)):\n"
+                + "\n".join(d.format() for d in errors),
+                report=report,
+            )
+        return report
 
     def __repr__(self) -> str:
         return (

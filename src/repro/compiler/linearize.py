@@ -11,28 +11,55 @@ of dangling RDD references (§5.3).
 
 from __future__ import annotations
 
+from repro.common.errors import CompilationError
 from repro.compiler.ir import KIND_OP, Hop
 from repro.core.entry import BACKEND_GPU, BACKEND_SP
 
 
 def depth_first(roots: list[Hop],
                 visited: set[int] | None = None) -> list[Hop]:
-    """Classic post-order (inputs before consumers) linearization."""
+    """Classic post-order (inputs before consumers) linearization.
+
+    Nodes are marked ``seen`` exactly when they are appended to the
+    order — never earlier.  A node discovered twice before its first
+    emission (shared sub-DAG, a node that is both an inner node and a
+    later root, a duplicated root, or the same hop appearing twice in
+    one ``inputs`` list) is therefore emitted exactly once, at its
+    first post-order position, and every input still precedes all of
+    its consumers.  The ``linearization-soundness`` analysis pass
+    re-checks these invariants on every compiled block when
+    ``config.verify_ir`` is enabled.
+
+    ``visited`` shares emission state across successive calls (used by
+    :func:`max_parallelize` to linearize remote chains first): ids
+    already present are treated as emitted earlier and skipped.
+
+    Raises :class:`~repro.common.errors.CompilationError` on a cyclic
+    graph instead of looping forever.
+    """
     order: list[Hop] = []
     seen = visited if visited is not None else set()
+    on_path: set[int] = set()
     for root in roots:
         stack: list[tuple[Hop, bool]] = [(root, False)]
         while stack:
             node, expanded = stack.pop()
             if expanded:
+                on_path.discard(node.id)
                 if node.id not in seen:
                     seen.add(node.id)
                     order.append(node)
                 continue
-            if node.id in seen:
+            if node.id in seen or node.id in on_path:
                 continue
+            on_path.add(node.id)
             stack.append((node, True))
             for inp in reversed(node.inputs):
+                if inp.id in on_path:
+                    raise CompilationError(
+                        f"cycle in HOP DAG: {inp!r} reachable from "
+                        f"itself via {node!r}"
+                    )
                 stack.append((inp, False))
     return order
 

@@ -27,6 +27,8 @@ from typing import Callable, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.analysis.hook import current_collector as current_analysis_collector
+from repro.analysis.manager import verify_ir
 from repro.backends.cpu.backend import CpuBackend
 from repro.backends.gpu.backend import GpuBackend, GpuData
 from repro.backends.gpu.memmanager import MODE_MALLOC, MODE_MEMPHIS, MODE_POOL
@@ -115,6 +117,14 @@ class Session:
         self.delay_factor = self.config.cache.delay_factor
         self._seed_counter = 10_000_000
         self._last_loop_name: Optional[str] = None
+        # static IR verification (repro.analysis): the config flag makes
+        # every compiled block raise on error-severity diagnostics; an
+        # ambient collector (python -m repro.analysis, harness
+        # --verify-ir) verifies without raising and accumulates findings.
+        self.ir_collector = current_analysis_collector()
+        self._verify_ir = bool(
+            self.config.verify_ir or self.ir_collector is not None
+        )
 
     def _gpu_mode(self) -> str:
         if self.config.gpu_memory_mode is not None:
@@ -269,6 +279,16 @@ class Session:
             order = max_parallelize(root_hops)
         else:
             order = depth_first(root_hops)
+        if self._verify_ir:
+            # static verification gate: runs the repro.analysis pass
+            # pipeline over the post-rewrite DAG + proposed order before
+            # anything executes; raises on errors iff config.verify_ir
+            verify_ir(
+                root_hops, order, self.config,
+                tracer=self.tracer, stats=self.stats,
+                collector=self.ir_collector,
+                raise_on_error=self.config.verify_ir,
+            )
         env = self.interpreter.run(order)
         for hop in order:
             if hop.kind != KIND_OP:

@@ -52,6 +52,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--trace-summary", action="store_true",
                         help="with --trace: also print the text summary "
                              "(top-k instructions, hit rates, evictions)")
+    parser.add_argument("--verify-ir", action="store_true",
+                        help="run the static IR verifier (repro.analysis) "
+                             "over every compiled block; print the merged "
+                             "report and exit 1 on error-severity findings")
     args = parser.parse_args(argv)
 
     if args.list:
@@ -71,6 +75,13 @@ def main(argv: list[str] | None = None) -> int:
 
         collector = TraceCollector()
         enable_tracing(collector)
+
+    ir_collector = None
+    if args.verify_ir:
+        from repro.analysis import AnalysisCollector, install_collector
+
+        ir_collector = AnalysisCollector()
+        install_collector(ir_collector)
 
     try:
         for name in selected:
@@ -96,6 +107,21 @@ def main(argv: list[str] | None = None) -> int:
 
                 print()
                 print(format_summary(events))
+        if ir_collector is not None:
+            from repro.analysis import uninstall_collector
+
+            uninstall_collector()
+    if ir_collector is not None:
+        from repro.analysis import Severity
+
+        report = ir_collector.merged()
+        print(f"[verify-ir: {ir_collector.blocks_verified} block(s) "
+              f"verified -- {report.summary()}]")
+        shown = report.format(min_severity=Severity.WARNING)
+        if shown:
+            print(shown)
+        if report.errors():
+            return 1
     return 0
 
 

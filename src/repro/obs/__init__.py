@@ -36,6 +36,7 @@ from repro.obs.events import (
     EV_GPU_RECYCLE,
     EV_GPU_REUSE,
     EV_INSTR,
+    EV_IR_DIAG,
     EV_PREFETCH,
     EV_PREFETCH_DONE,
     EV_PROBE,
@@ -90,6 +91,7 @@ __all__ = [
     "EV_GPU_RECYCLE",
     "EV_GPU_REUSE",
     "EV_INSTR",
+    "EV_IR_DIAG",
     "EV_PREFETCH",
     "EV_PREFETCH_DONE",
     "EV_PROBE",

@@ -91,6 +91,10 @@ EV_GPU_DEFRAG = "gpu/defrag"
 #: span — one federated request round-trip (submit -> last response).
 EV_FED_REQUEST = "fed/request"
 
+#: instant — one finding of the static IR verifier (``repro.analysis``;
+#: args: rule, severity, hop, opcode, message).
+EV_IR_DIAG = "analysis/diagnostic"
+
 
 @dataclass
 class Event:

@@ -2,7 +2,9 @@
 
 import pytest
 
+from repro.analysis import check_linearization
 from repro.common.config import MemphisConfig, StorageLevel
+from repro.common.errors import CompilationError
 from repro.compiler.ir import (
     Hop,
     data_hop,
@@ -18,7 +20,7 @@ from repro.compiler.rewrites.checkpoint import (
 )
 from repro.compiler.rewrites.cse import eliminate_common_subexpressions
 from repro.compiler.rewrites.tuning import ProgramBlock, tune_block, tune_program
-from repro.core.entry import BACKEND_CP, BACKEND_SP
+from repro.core.entry import BACKEND_CP, BACKEND_GPU, BACKEND_SP
 
 
 class TestShapeInference:
@@ -167,6 +169,86 @@ class TestLinearize:
         for hop in order:
             for inp in hop.inputs:
                 assert pos[inp.id] < pos[hop.id]
+
+    def test_depth_first_node_is_inner_and_later_root(self):
+        # a appears inside root's DAG *and* again as its own root: it
+        # must be emitted exactly once, at its first post-order slot
+        x, a, b, c, root = self._diamond()
+        order = depth_first([root, a])
+        assert [h.id for h in order].count(a.id) == 1
+        assert len(order) == len({h.id for h in order})
+        assert check_linearization([root, a], order) == []
+
+    def test_depth_first_root_before_its_consumer_root(self):
+        x, a, b, c, root = self._diamond()
+        order = depth_first([a, root])
+        pos = {h.id: i for i, h in enumerate(order)}
+        assert pos[a.id] < pos[root.id]
+        assert check_linearization([a, root], order) == []
+
+    def test_depth_first_duplicate_roots(self):
+        *_, root = self._diamond()
+        order = depth_first([root, root])
+        assert len(order) == len({h.id for h in order})
+        assert check_linearization([root, root], order) == []
+
+    def test_depth_first_same_input_twice(self):
+        x = literal_and(4, 4)
+        root = op_hop("+", [x, x])
+        order = depth_first([root])
+        assert [h.id for h in order] == [x.id, root.id]
+
+    def test_depth_first_rejects_cycle(self):
+        x = literal_and(4, 4)
+        a = op_hop("exp", [x])
+        b = op_hop("log", [a])
+        a.inputs.append(b)
+        with pytest.raises(CompilationError):
+            depth_first([b])
+
+    def test_iter_dag_matches_depth_first(self):
+        *_, root = self._diamond()
+        assert [h.id for h in root.iter_dag()] == \
+            [h.id for h in depth_first([root])]
+
+    def _prefetch_chain(self, x, length, backend):
+        node = x
+        for _ in range(length):
+            node = op_hop("exp", [node])
+            node.placement = backend
+        node.prefetch = True
+        return node
+
+    def test_max_parallelize_tie_broken_by_discovery_order(self):
+        # equal chain lengths: the sort is stable, so chains keep the
+        # deterministic iter_dag discovery order (left-to-right)
+        x = literal_and(4, 4)
+        first = self._prefetch_chain(x, 2, BACKEND_SP)
+        second = self._prefetch_chain(x, 2, BACKEND_SP)
+        final = op_hop("+", [first, second])
+        final.placement = BACKEND_CP
+        order = max_parallelize([final])
+        pos = {h.id: i for i, h in enumerate(order)}
+        assert pos[first.id] < pos[second.id]
+        # swapping the consumer's operands swaps the discovery order
+        final2 = op_hop("+", [second, first])
+        final2.placement = BACKEND_CP
+        order2 = max_parallelize([final2])
+        pos2 = {h.id: i for i, h in enumerate(order2)}
+        assert pos2[second.id] < pos2[first.id]
+
+    def test_max_parallelize_mixed_sp_and_gpu_chains(self):
+        x = literal_and(4, 4)
+        gpu_root = self._prefetch_chain(x, 3, BACKEND_GPU)
+        sp_root = self._prefetch_chain(x, 1, BACKEND_SP)
+        final = op_hop("+", [sp_root, gpu_root])
+        final.placement = BACKEND_CP
+        order = max_parallelize([final])
+        pos = {h.id: i for i, h in enumerate(order)}
+        # the longer GPU chain is linearized before the shorter SP one
+        assert pos[gpu_root.id] < pos[sp_root.id]
+        assert pos[final.id] == len(order) - 1
+        assert check_linearization([final], order) == []
 
 
 class TestAsyncRewrites:
