@@ -11,6 +11,13 @@ from __future__ import annotations
 import pytest
 
 
+def pytest_collection_modifyitems(items) -> None:
+    """Everything under benchmarks/ is tier 2 (select with -m tier2_bench)."""
+    marker = pytest.mark.tier2_bench
+    for item in items:
+        item.add_marker(marker)
+
+
 def report(result) -> None:
     """Print an experiment table into the benchmark output."""
     print()

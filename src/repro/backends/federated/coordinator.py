@@ -15,8 +15,15 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.backends.federated.worker import FederatedConfig, FederatedWorker
+from repro.common.errors import FaultInjectionError
 from repro.common.simclock import HOST, SimClock
-from repro.common.stats import Stats
+from repro.common.stats import (
+    FAULT_FED_RETRIES,
+    FAULT_QUORUM_DEGRADED,
+    Stats,
+)
+from repro.faults.injector import NULL_INJECTOR, FaultInjector
+from repro.faults.plan import KIND_FED_TIMEOUT, FaultPlan
 from repro.lineage.item import LineageItem, dataset, literal
 from repro.obs.events import EV_FED_REQUEST, LANE_FED
 from repro.obs.tracer import NULL_TRACER, current_collector
@@ -54,7 +61,8 @@ class FederatedCoordinator:
                  config: FederatedConfig | None = None,
                  clock: SimClock | None = None,
                  reuse: bool = True,
-                 tracer=None) -> None:
+                 tracer=None,
+                 faults: FaultPlan | None = None) -> None:
         self.workers = workers
         self.config = config or (
             workers[0].config if workers else FederatedConfig()
@@ -70,6 +78,10 @@ class FederatedCoordinator:
                 if collector is not None else NULL_TRACER
             )
         self.tracer = tracer
+        self.faults = (
+            FaultInjector(faults, self.clock, self.stats, tracer=self.tracer)
+            if faults is not None else NULL_INJECTOR
+        )
         self._fed_counter = 0
 
     # -- data placement ---------------------------------------------------------
@@ -161,21 +173,40 @@ class FederatedCoordinator:
 
     def _round(self, fm: FederatedMatrix, request_fn, ship_bytes: int = 0,
                out_lineages=None, store: bool = False):
-        """One federated round: parallel requests to all placed sites."""
+        """One federated round: parallel requests to all placed sites.
+
+        Injected faults are absorbed here: a *slow* site merely
+        stretches its modeled compute time; a *timeout* triggers
+        retry-with-exponential-backoff up to ``max_fed_retries``
+        attempts (retries hit the worker-local lineage cache, so the
+        repeated request costs latency, not recomputation).  When the
+        budget is exhausted and the remaining sites satisfy
+        ``quorum_fraction``, the round degrades: the coordinator stops
+        waiting inside the round's critical path and merges the
+        straggler's partial as a late arrival — numerics are identical
+        either way, only timing differs.
+        """
         submit = self.clock.now(HOST) + self.config.request_latency_s \
             + ship_bytes / self.config.bandwidth_bytes_per_s
         results = []
         completion = submit
         return_bytes = 0
+        round_idx = self.faults.fed_round() if self.faults.enabled else -1
         for (wid, shard_name, _), lineage in zip(fm.placement, fm.lineages):
             worker = self._worker(wid)
             opcode, out_lineage, inputs, attrs = request_fn(
                 shard_name, lineage
             )
             hits_before = worker.stats.get("cache/hits")
-            value, end = worker.execute(
-                opcode, out_lineage, inputs, attrs, submit, self.reuse
-            )
+            if self.faults.enabled:
+                value, end = self._execute_faulted(
+                    worker, opcode, out_lineage, inputs, attrs, submit,
+                    round_idx, len(fm.placement),
+                )
+            else:
+                value, end = worker.execute(
+                    opcode, out_lineage, inputs, attrs, submit, self.reuse
+                )
             reused = worker.stats.get("cache/hits") > hits_before
             if reused:
                 self.stats.inc(FED_REUSED)
@@ -199,6 +230,56 @@ class FederatedCoordinator:
             HOST,
         )
         return results
+
+    def _execute_faulted(self, worker: FederatedWorker, opcode: str,
+                         out_lineage: LineageItem, inputs: list,
+                         attrs: dict, submit: float, round_idx: int,
+                         num_placed: int) -> tuple:
+        """One worker request under fault injection (see :meth:`_round`)."""
+        plan = self.faults.plan
+        wid = worker.worker_id
+        slow = self.faults.fed_slow(round_idx, wid)
+        fault = self.faults.fed_timeout(round_idx, wid)
+        submit_w = submit
+        delay = plan.fed_backoff_base_s
+        attempt = 0
+        degraded = False
+        while True:
+            value, end = worker.execute(
+                opcode, out_lineage, inputs, attrs, submit_w, self.reuse,
+                slow_factor=slow if slow is not None else 1.0,
+            )
+            if fault is None or not fault.take():
+                break
+            attempt += 1
+            self.stats.inc(FAULT_FED_RETRIES)
+            self.faults.injected(KIND_FED_TIMEOUT, LANE_FED,
+                                 round=round_idx, worker=wid,
+                                 attempt=attempt)
+            if attempt > plan.max_fed_retries:
+                # the round may proceed without this site if the others
+                # meet quorum; its partial merges as a late arrival
+                if (num_placed > 1
+                        and (num_placed - 1) / num_placed
+                        >= plan.quorum_fraction):
+                    self.stats.inc(FAULT_QUORUM_DEGRADED)
+                    end = max(end, submit_w + plan.fed_timeout_s)
+                    degraded = True
+                    break
+                raise FaultInjectionError(
+                    f"federated worker {wid} timed out {attempt} times in "
+                    f"round {round_idx} (budget {plan.max_fed_retries}, "
+                    f"quorum {plan.quorum_fraction})"
+                )
+            # wait out the timeout, back off, resubmit (hits the
+            # worker-local lineage cache)
+            submit_w = max(end, submit_w + plan.fed_timeout_s) + delay
+            delay *= 2
+        if attempt and not degraded:
+            self.faults.recovered(KIND_FED_TIMEOUT, LANE_FED,
+                                  round=round_idx, worker=wid,
+                                  attempts=attempt + 1)
+        return value, end
 
     def _worker(self, worker_id: int) -> FederatedWorker:
         for worker in self.workers:

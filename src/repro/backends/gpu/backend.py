@@ -58,14 +58,15 @@ class GpuBackend:
     name = "GPU"
 
     def __init__(self, config: GpuConfig, clock: SimClock, stats: Stats,
-                 mode: str = MODE_MEMPHIS, tracer=None) -> None:
+                 mode: str = MODE_MEMPHIS, tracer=None, faults=None) -> None:
         self.config = config
         self.clock = clock
         self.stats = stats
         self.device = GpuDevice(config)
         self.stream = GpuStream(config, clock, stats, tracer=tracer)
         self.memory = GpuMemoryManager(
-            self.device, self.stream, clock, stats, mode, tracer=tracer
+            self.device, self.stream, clock, stats, mode, tracer=tracer,
+            faults=faults,
         )
 
     def supports(self, opcode: str) -> bool:

@@ -62,6 +62,20 @@ class GpuDevice:
     def num_allocations(self) -> int:
         return len(self._allocated)
 
+    def allocation_report(self) -> dict:
+        """Accounting snapshot for leak checks (chaos property tests).
+
+        ``consistent`` asserts the device invariant directly: live
+        allocations plus free holes tile the address space exactly.
+        """
+        hole_bytes = sum(size for _, size in self._free)
+        return {
+            "num_allocations": self.num_allocations(),
+            "used_bytes": self.used_bytes,
+            "hole_bytes": hole_bytes,
+            "consistent": self.used_bytes + hole_bytes == self.capacity,
+        }
+
     # -- allocation ----------------------------------------------------------
 
     def malloc(self, size: int) -> Optional[int]:

@@ -31,6 +31,7 @@ from repro.common.config import GpuConfig
 from repro.common.errors import GpuOutOfMemoryError
 from repro.common.simclock import DEVICE, HOST, SimClock
 from repro.common.stats import (
+    FAULT_GPU_ALLOC_RETRIES,
     GPU_DEFRAGS,
     GPU_EVICT_D2H,
     GPU_FREES,
@@ -39,6 +40,8 @@ from repro.common.stats import (
     GPU_REUSED,
     Stats,
 )
+from repro.faults.injector import NULL_INJECTOR
+from repro.faults.plan import KIND_GPU_ALLOC
 from repro.obs.events import (
     EV_GPU_DEFRAG,
     EV_GPU_EVICT_D2H,
@@ -66,12 +69,13 @@ class GpuMemoryManager:
     def __init__(self, device: GpuDevice, stream: GpuStream, clock: SimClock,
                  stats: Stats, mode: str = MODE_MEMPHIS,
                  on_invalidate: Optional[Callable[[GpuPointer], None]] = None,
-                 tracer=None) -> None:
+                 tracer=None, faults=None) -> None:
         self.device = device
         self.stream = stream
         self.clock = clock
         self.stats = stats
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.faults = faults if faults is not None else NULL_INJECTOR
         self.mode = mode
         #: called before a free pointer's contents are destroyed, so the
         #: lineage cache can drop or host-save the entry backed by it.
@@ -90,7 +94,44 @@ class GpuMemoryManager:
     # -- public allocation API ---------------------------------------------------
 
     def allocate(self, size: int, shape: tuple[int, int] = (0, 0)) -> GpuPointer:
-        """Serve an allocation request (Algorithm 1)."""
+        """Serve an allocation request (Algorithm 1), absorbing faults.
+
+        An injected allocation fault (transient driver error / OOM) is
+        recovered by evict-and-retry: flush the pooled free pointers —
+        invalidating the lineage-cache entries they back — and re-enter
+        the cascade, up to ``max_alloc_retries`` attempts.
+        """
+        if self.faults.enabled:
+            fault = self.faults.gpu_alloc()
+            if fault is not None:
+                return self._allocate_faulted(size, shape, fault)
+        return self._allocate(size, shape)
+
+    def _allocate_faulted(self, size: int, shape: tuple[int, int],
+                          fault) -> GpuPointer:
+        attempt = 0
+        while fault.take():
+            attempt += 1
+            # a failed cudaMalloc still synchronizes and costs driver latency
+            self.stream.synchronize()
+            self.clock.advance(self.config.malloc_latency_s, HOST)
+            self.clock.advance_to(self.clock.now(HOST), DEVICE)
+            self.stats.inc(FAULT_GPU_ALLOC_RETRIES)
+            self.faults.injected(KIND_GPU_ALLOC, LANE_GPU, nbytes=size,
+                                 attempt=attempt)
+            if attempt > self.faults.plan.max_alloc_retries:
+                raise GpuOutOfMemoryError(
+                    size, self.device.free_bytes,
+                    self.device.largest_free_block,
+                )
+            self.empty_cache(1.0)
+        ptr = self._allocate(size, shape)
+        if attempt:
+            self.faults.recovered(KIND_GPU_ALLOC, LANE_GPU, nbytes=size,
+                                  attempts=attempt + 1)
+        return ptr
+
+    def _allocate(self, size: int, shape: tuple[int, int]) -> GpuPointer:
         size = max(size, self.config.alignment)
         if self.mode in (MODE_POOL, MODE_MEMPHIS):
             recycled = self._recycle_exact(size, shape)

@@ -18,11 +18,15 @@ import numpy as np
 
 from repro.common.config import SparkConfig, StorageLevel
 from repro.common.stats import (
+    FAULT_PARTITIONS_DROPPED,
+    FAULT_SPILL_IO_ERRORS,
     SPARK_PART_EVICTED,
     SPARK_PART_SPILLED,
     Stats,
 )
 from repro.backends.spark.rdd import TaskMetrics
+from repro.faults.injector import NULL_INJECTOR
+from repro.faults.plan import KIND_SPILL_IO
 from repro.obs.events import (
     EV_SPARK_PART_EVICT,
     EV_SPARK_PART_SPILL,
@@ -49,10 +53,11 @@ class BlockManager:
     """
 
     def __init__(self, config: SparkConfig, stats: Stats,
-                 tracer=None) -> None:
+                 tracer=None, faults=None) -> None:
         self._config = config
         self._stats = stats
         self._tracer = tracer if tracer is not None else NULL_TRACER
+        self._faults = faults if faults is not None else NULL_INJECTOR
         self._partitions: OrderedDict[tuple[int, int], _CachedPartition] = OrderedDict()
         self._memory_used = 0
         #: RDD id currently being materialized (its partitions are exempt
@@ -83,12 +88,16 @@ class BlockManager:
             return True
         nbytes = int(block.nbytes)
         if level is StorageLevel.DISK_ONLY:
+            if self._spill_failed(key, nbytes):
+                return False
             self._partitions[key] = _CachedPartition(block, nbytes, level, on_disk=True)
             self._stats.inc(SPARK_PART_SPILLED)
             self._trace(EV_SPARK_PART_SPILL, key, nbytes)
             return True
         if not self._evict_until_fits(nbytes, protect_rdd=rdd_id):
             if level is StorageLevel.MEMORY_AND_DISK:
+                if self._spill_failed(key, nbytes):
+                    return False
                 self._partitions[key] = _CachedPartition(
                     block, nbytes, level, on_disk=True
                 )
@@ -164,7 +173,8 @@ class BlockManager:
                 return False
             victim = self._partitions[victim_key]
             self._memory_used -= victim.nbytes
-            if victim.level is StorageLevel.MEMORY_AND_DISK:
+            if (victim.level is StorageLevel.MEMORY_AND_DISK
+                    and not self._spill_failed(victim_key, victim.nbytes)):
                 victim.on_disk = True
                 self._stats.inc(SPARK_PART_SPILLED)
                 self._trace(EV_SPARK_PART_SPILL, victim_key, victim.nbytes)
@@ -173,6 +183,42 @@ class BlockManager:
                 self._stats.inc(SPARK_PART_EVICTED)
                 self._trace(EV_SPARK_PART_EVICT, victim_key, victim.nbytes)
         return True
+
+    # -- fault injection -----------------------------------------------------
+
+    def _spill_failed(self, key: tuple[int, int], nbytes: int) -> bool:
+        """Draw a spill I/O fault; a failed spill loses the partition.
+
+        The partition is simply not stored (or dropped, for an eviction
+        spill) — persisted RDDs recompute it from lineage on the next
+        access, so the fault costs recomputation, never correctness.
+        """
+        if not (self._faults.enabled and self._faults.spill_io()):
+            return False
+        self._stats.inc(FAULT_SPILL_IO_ERRORS)
+        self._faults.injected(KIND_SPILL_IO, LANE_SP, rdd=key[0],
+                              partition=key[1], nbytes=nbytes)
+        return True
+
+    def drop_executor(self, executor_id: int, num_executors: int) -> int:
+        """Drop every partition striped onto a lost executor.
+
+        Partition ``index`` lives on executor ``index % num_executors``;
+        both memory- and disk-resident copies die with the executor
+        (executor-local disk).  Returns the number of partitions lost.
+        """
+        lost = [
+            key for key in self._partitions
+            if key[1] % num_executors == executor_id
+        ]
+        for key in lost:
+            part = self._partitions.pop(key)
+            if not part.on_disk:
+                self._memory_used -= part.nbytes
+            self._trace(EV_SPARK_PART_EVICT, key, part.nbytes)
+        if lost:
+            self._stats.inc(FAULT_PARTITIONS_DROPPED, len(lost))
+        return len(lost)
 
     def _trace(self, name: str, key: tuple[int, int], nbytes: int) -> None:
         """Emit a storage event on the cluster lane (no-op when off)."""

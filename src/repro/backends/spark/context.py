@@ -15,11 +15,18 @@ import numpy as np
 
 from repro.backends.spark.blockmanager import BlockManager
 from repro.backends.spark.broadcast import Broadcast
-from repro.backends.spark.rdd import RDD, ParallelizedRDD
+from repro.backends.spark.rdd import RDD, ParallelizedRDD, ShuffleDependency
 from repro.backends.spark.scheduler import DAGScheduler, JobResult
 from repro.common.config import SparkConfig
 from repro.common.simclock import CLUSTER, HOST, SimClock, SimFuture
-from repro.common.stats import SPARK_PART_RECOMPUTED, Stats
+from repro.common.stats import (
+    FAULT_EXECUTORS_LOST,
+    FAULT_SHUFFLE_INVALIDATED,
+    SPARK_PART_RECOMPUTED,
+    Stats,
+)
+from repro.faults.injector import NULL_INJECTOR
+from repro.faults.plan import KIND_EXECUTOR_LOSS
 from repro.obs.events import EV_SPARK_JOB, EV_SPARK_STAGE, LANE_SP
 from repro.obs.tracer import NULL_TRACER
 
@@ -34,12 +41,14 @@ class SparkContext:
     """
 
     def __init__(self, config: SparkConfig, clock: SimClock, stats: Stats,
-                 tracer=None) -> None:
+                 tracer=None, faults=None) -> None:
         self.config = config
         self.clock = clock
         self.stats = stats
         self.tracer = tracer if tracer is not None else NULL_TRACER
-        self.block_manager = BlockManager(config, stats, tracer=self.tracer)
+        self.faults = faults if faults is not None else NULL_INJECTOR
+        self.block_manager = BlockManager(config, stats, tracer=self.tracer,
+                                          faults=self.faults)
         self.scheduler = DAGScheduler(self)
         self.driver_retained_bytes = 0
         self.shuffle_store_bytes = 0
@@ -85,6 +94,10 @@ class SparkContext:
         The *host* timeline is NOT advanced here — callers decide whether
         the action is synchronous or asynchronous.
         """
+        if self.faults.enabled:
+            for executor_id in self.faults.executor_losses(
+                    self.config.num_executors):
+                self.lose_executor(executor_id)
         result = self.scheduler.execute(rdd)
         lane = min(range(len(self._job_lanes)),
                    key=lambda i: self._job_lanes[i])
@@ -107,6 +120,44 @@ class SparkContext:
                 )
                 offset += dur
         return result, end
+
+    # -- fault injection ---------------------------------------------------------
+
+    def lose_executor(self, executor_id: int) -> None:
+        """Model the death of one executor (fault injection).
+
+        Partitions are striped across executors by index
+        (``index % num_executors``), so the loss invalidates that
+        stripe's shuffle map outputs (``None`` holes — the next job's
+        map stage recomputes exactly those from RDD lineage) and drops
+        its cached partitions from the BlockManager (recomputed on
+        demand through ``RDD.get_partition``).
+        """
+        n = self.config.num_executors
+        invalidated = 0
+        for rdd in self._rdds.values():
+            for dep in rdd.deps:
+                if not isinstance(dep, ShuffleDependency):
+                    continue
+                files = dep.shuffle_files
+                if files is None:
+                    continue
+                for idx, out in enumerate(files):
+                    if out is None or idx % n != executor_id:
+                        continue
+                    nbytes = sum(b.nbytes for b in out.values())
+                    self.shuffle_store_bytes -= nbytes
+                    dep.shuffle_bytes -= nbytes
+                    files[idx] = None
+                    invalidated += 1
+        dropped = self.block_manager.drop_executor(executor_id, n)
+        self.stats.inc(FAULT_EXECUTORS_LOST)
+        if invalidated:
+            self.stats.inc(FAULT_SHUFFLE_INVALIDATED, invalidated)
+        self.faults.injected(
+            KIND_EXECUTOR_LOSS, LANE_SP, executor=executor_id,
+            shuffle_files=invalidated, cached_partitions=dropped,
+        )
 
     # -- actions ------------------------------------------------------------------
 

@@ -21,11 +21,14 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.backends.spark.rdd import RDD, ShuffleDependency, TaskMetrics
+from repro.common.errors import FaultInjectionError
 from repro.common.stats import (
+    FAULT_SPARK_TASK_RETRIES,
     SPARK_JOBS,
     SPARK_SHUFFLE_REUSE,
     SPARK_TASKS,
 )
+from repro.faults.plan import KIND_SPARK_TASK
 from repro.obs.events import EV_SPARK_SHUFFLE_REUSE, LANE_SP
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -75,11 +78,10 @@ class DAGScheduler:
         total_tasks = 0
 
         for dep in pending:
-            stage_times.append(self._run_map_stage(dep))
-            stages.append(
-                ("shuffle_map", dep.rdd.num_partitions, stage_times[-1])
-            )
-            total_tasks += dep.rdd.num_partitions
+            stage_time, tasks_run = self._run_map_stage(dep)
+            stage_times.append(stage_time)
+            stages.append(("shuffle_map", tasks_run, stage_times[-1]))
+            total_tasks += tasks_run
 
         # result stage
         task_times: list[float] = []
@@ -87,9 +89,10 @@ class DAGScheduler:
         self.context.block_manager.set_computing(rdd.id)
         try:
             for idx in range(rdd.num_partitions):
-                metrics = TaskMetrics()
-                partitions.append(rdd.get_partition(idx, metrics))
-                task_times.append(self._task_time(metrics))
+                partitions.append(self._run_task(
+                    rdd, idx, task_times,
+                    lambda metrics, i=idx: rdd.get_partition(i, metrics),
+                ))
         finally:
             self.context.block_manager.set_computing(None)
         stage_times.append(self._stage_time(task_times))
@@ -123,7 +126,11 @@ class DAGScheduler:
             for dep in node.deps:
                 visit(dep.rdd)
                 if isinstance(dep, ShuffleDependency):
-                    if dep.shuffle_files is None:
+                    if dep.shuffle_files is None or any(
+                        f is None for f in dep.shuffle_files
+                    ):
+                        # never written, or holes punched by executor
+                        # loss: (re)run the map stage for missing files
                         order.append(dep)
                     else:
                         self.context.stats.inc(SPARK_SHUFFLE_REUSE)
@@ -138,30 +145,84 @@ class DAGScheduler:
         visit(rdd)
         return order
 
-    def _run_map_stage(self, dep: ShuffleDependency) -> float:
-        """Execute the map side of one shuffle and retain its files."""
+    def _run_map_stage(self, dep: ShuffleDependency) -> tuple[float, int]:
+        """Execute the map side of one shuffle and retain its files.
+
+        Map tasks run only for missing per-partition files, so after an
+        executor loss punches ``None`` holes into ``shuffle_files`` the
+        stage recomputes exactly the lost map outputs from RDD lineage
+        (Spark's partial stage resubmission).  Returns the stage time and
+        the number of map tasks actually run.
+        """
         parent = dep.rdd
-        files: list[dict[int, np.ndarray]] = []
+        files: list = (
+            list(dep.shuffle_files) if dep.shuffle_files is not None
+            else [None] * parent.num_partitions
+        )
         task_times: list[float] = []
+        tasks_run = 0
+        written = 0
         self.context.block_manager.set_computing(parent.id)
         try:
             for idx in range(parent.num_partitions):
-                metrics = TaskMetrics()
-                block = parent.get_partition(idx, metrics)
-                out = dep.map_side(idx, block)
-                write_bytes = sum(b.nbytes for b in out.values())
-                metrics.bytes_shuffled += write_bytes
-                metrics.flops += block.size  # map-side combine work
-                files.append(out)
-                task_times.append(self._task_time(metrics))
+                if files[idx] is not None:
+                    continue
+
+                def map_task(metrics: TaskMetrics, i: int = idx):
+                    block = parent.get_partition(i, metrics)
+                    out = dep.map_side(i, block)
+                    metrics.bytes_shuffled += sum(
+                        b.nbytes for b in out.values()
+                    )
+                    metrics.flops += block.size  # map-side combine work
+                    return out
+
+                out = self._run_task(parent, idx, task_times, map_task)
+                files[idx] = out
+                written += sum(b.nbytes for b in out.values())
+                tasks_run += 1
         finally:
             self.context.block_manager.set_computing(None)
         dep.shuffle_files = files
         dep.shuffle_bytes = sum(
             b.nbytes for out in files for b in out.values()
         )
-        self.context.shuffle_store_bytes += dep.shuffle_bytes
-        return self._stage_time(task_times)
+        self.context.shuffle_store_bytes += written
+        return self._stage_time(task_times), tasks_run
+
+    def _run_task(self, rdd: RDD, idx: int, task_times: list[float],
+                  body) -> object:
+        """Run one task, absorbing injected failures by retrying.
+
+        Each attempt charges its own task time (the stage model treats a
+        retry as an extra task competing for the same slots).  A failed
+        attempt's partial result is discarded — the per-job memo entry is
+        dropped so the retry recomputes the partition from RDD lineage.
+        """
+        faults = self.context.faults
+        fault = faults.spark_task() if faults.enabled else None
+        attempt = 0
+        while True:
+            metrics = TaskMetrics()
+            value = body(metrics)
+            task_times.append(self._task_time(metrics))
+            if fault is None or not fault.take():
+                break
+            attempt += 1
+            self.context.stats.inc(FAULT_SPARK_TASK_RETRIES)
+            faults.injected(KIND_SPARK_TASK, LANE_SP, rdd=rdd.name,
+                            partition=idx, attempt=attempt)
+            if attempt > faults.plan.max_task_retries:
+                raise FaultInjectionError(
+                    f"spark task for partition {idx} of {rdd.name!r} "
+                    f"failed {attempt} times "
+                    f"(budget {faults.plan.max_task_retries})"
+                )
+            self.context.job_memo.pop((rdd.id, idx), None)
+        if attempt:
+            faults.recovered(KIND_SPARK_TASK, LANE_SP, rdd=rdd.name,
+                             partition=idx, attempts=attempt + 1)
+        return value
 
     def _task_time(self, metrics: TaskMetrics) -> float:
         cfg = self.context.config

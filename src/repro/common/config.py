@@ -207,6 +207,13 @@ class MemphisConfig:
     #: :class:`~repro.common.errors.VerificationError` on any
     #: error-severity diagnostic before executing the stream.
     verify_ir: bool = False
+    #: fault injection (``repro.faults``): a ``FaultPlan`` scheduling
+    #: deterministic failures (task loss, GPU alloc failure, federated
+    #: timeouts, spill I/O errors, ...) that the recovery machinery must
+    #: absorb.  ``None`` (default) falls back to the ambient plan
+    #: installed by the harness ``--faults`` flag, else no injection;
+    #: typed as ``object`` to keep this module import-light.
+    faults: object | None = None
     #: RNG seed for the framework's own randomized choices.
     seed: int = 42
 

@@ -71,3 +71,12 @@ class BufferPoolError(BackendError):
 
 class RecomputationError(LineageError):
     """Raised when a lineage trace cannot be replayed."""
+
+
+class FaultInjectionError(MemphisError):
+    """Raised when an injected fault exhausts its recovery budget.
+
+    Chaos plans are normally sized within the retry budgets so every
+    fault recovers; this error is the deliberate escape hatch for tests
+    that assert the budgets themselves are enforced.
+    """

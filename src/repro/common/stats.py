@@ -129,3 +129,16 @@ CHECKPOINTS_PLACED = "compiler/checkpoints_placed"
 INSTRUCTIONS_EXECUTED = "runtime/instructions_executed"
 INSTRUCTIONS_SKIPPED = "runtime/instructions_skipped"
 BUFFERPOOL_EVICTIONS = "bufferpool/evictions"
+FAULTS_INJECTED = "faults/injected"
+FAULTS_RECOVERED = "faults/recovered"
+FAULT_SPARK_TASK_RETRIES = "faults/spark_task_retries"
+FAULT_EXECUTORS_LOST = "faults/executors_lost"
+FAULT_SHUFFLE_INVALIDATED = "faults/shuffle_files_invalidated"
+FAULT_PARTITIONS_DROPPED = "faults/cached_partitions_dropped"
+FAULT_GPU_ALLOC_RETRIES = "faults/gpu_alloc_retries"
+FAULT_FED_RETRIES = "faults/fed_retries"
+FAULT_QUORUM_DEGRADED = "faults/fed_rounds_degraded"
+FAULT_SPILL_IO_ERRORS = "faults/spill_io_errors"
+FAULT_RESTORE_IO_ERRORS = "faults/restore_io_errors"
+FAULT_CACHE_ENTRIES_LOST = "faults/cache_entries_lost"
+FAULT_LINEAGE_RECOMPUTES = "faults/lineage_recomputes"

@@ -23,11 +23,15 @@ from repro.common.stats import (
     CACHE_PUTS,
     CACHE_RESTORES,
     CACHE_SPILLS,
+    FAULT_RESTORE_IO_ERRORS,
+    FAULT_SPILL_IO_ERRORS,
     LINEAGE_PROBES,
     Stats,
 )
 from repro.core.entry import BACKEND_CP, BACKEND_GPU, BACKEND_SP, CacheEntry, EntryStatus
 from repro.core.policies import EvictionPolicy, make_policy
+from repro.faults.injector import NULL_INJECTOR
+from repro.faults.plan import KIND_RESTORE_IO, KIND_SPILL_IO
 from repro.lineage.item import LineageItem
 from repro.obs.events import (
     EV_CACHE_DELAY,
@@ -58,12 +62,13 @@ class LineageCache:
                  clock=None,
                  disk_bytes_per_s: float = 1024**3,
                  flops_per_s: float = 1.5e12,
-                 tracer=None) -> None:
+                 tracer=None, faults=None) -> None:
         self.config = config
         self.stats = stats
         self.policy = policy or make_policy(config.policy)
         self.clock = clock
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.faults = faults if faults is not None else NULL_INJECTOR
         self.disk_bytes_per_s = disk_bytes_per_s
         self.flops_per_s = flops_per_s
         self._entries: dict[LineageItem, CacheEntry] = {}
@@ -159,9 +164,13 @@ class LineageCache:
                                     key=key.id, seen=entry.seen_count)
             return None
         if backend == BACKEND_CP:
+            if entry.cp_accounted:  # re-put: release the old charge first
+                self._cp_bytes -= entry.cp_accounted
+                entry.cp_accounted = 0
             if not self._make_space_cp(size):
                 return None
             self._cp_bytes += size
+            entry.cp_accounted = size
         entry.put_payload(backend, payload, size, compute_cost)
         if backend == BACKEND_GPU:
             ptr = getattr(payload, "ptr", None)
@@ -219,8 +228,9 @@ class LineageCache:
             return
         if self.on_cp_evict is not None:
             self.on_cp_evict(entry)
-        self._cp_bytes -= entry.size
-        if self._should_spill(entry):
+        self._cp_bytes -= entry.cp_accounted
+        entry.cp_accounted = 0
+        if self._should_spill(entry) and not self._spill_faulted(entry):
             self.clock.advance(entry.size / self.disk_bytes_per_s)
             entry.payloads[BACKEND_DISK] = payload
             entry.payloads.pop(BACKEND_CP, None)
@@ -249,6 +259,19 @@ class LineageCache:
         roundtrip_time = 2.0 * entry.size / self.disk_bytes_per_s
         return recompute_time > roundtrip_time
 
+    def _spill_faulted(self, entry: CacheEntry) -> bool:
+        """Injected spill-I/O error: the write fails, the payload is lost.
+
+        The entry degrades to a plain eviction (recoverable through
+        lineage recomputation), never a silently corrupt disk copy.
+        """
+        if not (self.faults.enabled and self.faults.spill_io()):
+            return False
+        self.stats.inc(FAULT_SPILL_IO_ERRORS)
+        self.faults.injected(KIND_SPILL_IO, key=entry.key.id,
+                             opcode=entry.key.opcode, nbytes=entry.size)
+        return True
+
     def _restore_from_disk(self, entry: CacheEntry) -> bool:
         """Read a spilled payload back into the driver cache."""
         payload = entry.payloads.get(BACKEND_DISK)
@@ -256,12 +279,24 @@ class LineageCache:
             return False
         if not self._make_space_cp(entry.size):
             return False
+        if self.faults.enabled and self.faults.restore_io():
+            # injected read error: the disk copy is unusable and dropped;
+            # the caller falls back to lineage recomputation
+            self._disk_bytes -= entry.size
+            entry.drop_payload(BACKEND_DISK)
+            if entry.payloads:
+                entry.status = EntryStatus.CACHED
+            self.stats.inc(FAULT_RESTORE_IO_ERRORS)
+            self.faults.injected(KIND_RESTORE_IO, key=entry.key.id,
+                                 opcode=entry.key.opcode, nbytes=entry.size)
+            return False
         self.clock.advance(entry.size / self.disk_bytes_per_s)
         entry.payloads[BACKEND_CP] = payload
         entry.payloads.pop(BACKEND_DISK, None)
         entry.status = EntryStatus.CACHED
         self._disk_bytes -= entry.size
         self._cp_bytes += entry.size
+        entry.cp_accounted = entry.size
         self.stats.inc(CACHE_RESTORES)
         if self.tracer.enabled:
             self.tracer.instant(EV_CACHE_RESTORE, size=entry.size,
@@ -285,6 +320,50 @@ class LineageCache:
                                 size=entry.size, opcode=entry.key.opcode,
                                 key=entry.key.id)
 
+    def invalidate_entry(self, entry: CacheEntry,
+                         spark_mgr=None) -> list[str]:
+        """Hard-drop every backend copy of ``entry`` (fault injection).
+
+        Models losing a cached intermediate outright — driver copy, disk
+        spill, distributed RDD (via the Spark cache manager when given,
+        so storage-memory accounting stays exact), and GPU pointer index
+        entry.  Returns the backend tags that were dropped; the value
+        remains recoverable only through lineage recomputation.
+        """
+        dropped: list[str] = []
+        if BACKEND_CP in entry.payloads:
+            self._cp_bytes -= entry.cp_accounted
+            entry.cp_accounted = 0
+            entry.drop_payload(BACKEND_CP)
+            dropped.append(BACKEND_CP)
+        if BACKEND_DISK in entry.payloads:
+            self._disk_bytes -= entry.size
+            entry.drop_payload(BACKEND_DISK)
+            dropped.append(BACKEND_DISK)
+        if BACKEND_SP in entry.payloads:
+            if spark_mgr is not None:
+                spark_mgr.evict(entry)
+            else:
+                entry.drop_payload(BACKEND_SP)
+            dropped.append(BACKEND_SP)
+        if BACKEND_GPU in entry.payloads:
+            payload = entry.payloads[BACKEND_GPU]
+            ptr = getattr(payload, "ptr", None)
+            if ptr is not None:
+                ptr.cached = False
+                self._gpu_index.pop(ptr.id, None)
+            entry.drop_payload(BACKEND_GPU)
+            dropped.append(BACKEND_GPU)
+        if dropped:
+            entry.status = EntryStatus.EVICTED
+            self.stats.inc(CACHE_EVICTIONS)
+            if self.tracer.enabled:
+                self.tracer.instant(EV_CACHE_EVICT, backend=",".join(dropped),
+                                    size=entry.size,
+                                    opcode=entry.key.opcode,
+                                    key=entry.key.id)
+        return dropped
+
     # -- GPU integration ---------------------------------------------------------
 
     def on_gpu_invalidate(self, ptr) -> None:
@@ -305,8 +384,9 @@ class LineageCache:
 
     def remove(self, key: LineageItem) -> None:
         entry = self._entries.pop(key, None)
-        if entry is not None and BACKEND_CP in entry.payloads:
-            self._cp_bytes -= entry.size
+        if entry is not None:
+            self._cp_bytes -= entry.cp_accounted
+            entry.cp_accounted = 0
 
     def clear(self) -> None:
         self._entries.clear()

@@ -36,7 +36,7 @@ class CacheEntry:
     __slots__ = (
         "key", "status", "payloads", "size", "compute_cost", "height",
         "hits", "misses", "jobs", "last_access", "seen_count",
-        "is_function", "rdd_materialized", "outputs",
+        "is_function", "rdd_materialized", "outputs", "cp_accounted",
     )
 
     def __init__(self, key: LineageItem, compute_cost: float = 0.0,
@@ -59,6 +59,12 @@ class CacheEntry:
         self.rdd_materialized = False
         #: for function entries: the list of per-output payload keys.
         self.outputs: Optional[list] = None
+        #: bytes this entry's CP payload has charged to the driver-cache
+        #: budget.  ``size`` is the worst case across backends; eviction
+        #: and invalidation must release exactly what was charged, or the
+        #: budget drifts (CP copies attached as exchange ride-alongs are
+        #: never charged).
+        self.cp_accounted = 0
 
     # -- payload management ----------------------------------------------------
 

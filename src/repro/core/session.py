@@ -64,7 +64,10 @@ from repro.compiler.rewrites.tuning import ProgramBlock, tune_block
 from repro.core.cache import LineageCache
 from repro.core.entry import BACKEND_CP, BACKEND_GPU, BACKEND_SP
 from repro.core.spark_cache import SparkCacheManager
+from repro.faults.injector import NULL_INJECTOR, FaultInjector
+from repro.faults.plan import current_plan
 from repro.lineage.item import LineageItem, function_item, literal
+from repro.lineage.recompute import hops_from_item
 from repro.lineage.serialize import deserialize, serialize
 from repro.obs.tracer import NULL_TRACER, TraceCollector, current_collector
 from repro.runtime.handles import MatrixHandle
@@ -94,15 +97,27 @@ class Session:
             )
             if collector is not None else NULL_TRACER
         )
+        # fault injection (repro.faults): an explicit plan on the config
+        # wins; otherwise an ambient plan (harness --faults) applies.
+        # With neither, NULL_INJECTOR keeps every hot-path guard a single
+        # ``enabled`` attribute check.
+        plan = self.config.faults
+        if plan is None:
+            plan = current_plan()
+        self.faults = (
+            FaultInjector(plan, self.clock, self.stats, tracer=self.tracer)
+            if plan is not None else NULL_INJECTOR
+        )
         self.cache = LineageCache(
             self.config.cache, self.stats, clock=self.clock,
             disk_bytes_per_s=self.config.cpu.disk_bytes_per_s,
             flops_per_s=self.config.cpu.flops_per_s,
-            tracer=self.tracer,
+            tracer=self.tracer, faults=self.faults,
         )
         self.cpu = CpuBackend(self.config.cpu, self.clock, self.stats)
         self.spark_context = SparkContext(
-            self.config.spark, self.clock, self.stats, tracer=self.tracer
+            self.config.spark, self.clock, self.stats, tracer=self.tracer,
+            faults=self.faults,
         )
         self.spark = SparkBackend(self.spark_context)
         self.spark_mgr = SparkCacheManager(
@@ -110,11 +125,15 @@ class Session:
         )
         self.gpu = GpuBackend(
             self.config.gpu, self.clock, self.stats,
-            mode=self._gpu_mode(), tracer=self.tracer,
+            mode=self._gpu_mode(), tracer=self.tracer, faults=self.faults,
         )
         self.gpu.memory.on_invalidate = self.cache.on_gpu_invalidate
         self.interpreter = Interpreter(self)
         self.delay_factor = self.config.cache.delay_factor
+        #: named input datasets, kept for lineage-based recovery: when a
+        #: cached intermediate is lost to a fault, RECOMPUTE replays its
+        #: trace from these roots (§3.2).
+        self._datasets: dict[str, Union[np.ndarray, float]] = {}
         self._seed_counter = 10_000_000
         self._last_loop_name: Optional[str] = None
         # static IR verification (repro.analysis): the config flag makes
@@ -153,6 +172,11 @@ class Session:
         )
         handle.payloads = {BACKEND_CP: value}
         handle.hop.bundle = (handle.lineage, handle.payloads)
+        if name is not None:
+            self._datasets[name] = (
+                value.data if isinstance(value, MatrixValue)
+                else float(data)
+            )
         return handle
 
     def scalar(self, value: float) -> MatrixHandle:
@@ -569,33 +593,63 @@ class Session:
         """
         root_item = deserialize(log)
         inputs = inputs or {}
-        hops: dict[int, Hop] = {}
         anchors: list[MatrixHandle] = []
 
-        def build(item: LineageItem) -> Hop:
-            if item.id in hops:
-                return hops[item.id]
-            if item.opcode == "lit":
-                hop = literal_hop(item.data[0])
-            elif item.opcode == "data":
-                dataset_name = str(item.data[0])
-                if dataset_name not in inputs:
-                    raise RecomputationError(
-                        f"recompute needs input dataset {dataset_name!r}"
-                    )
-                handle = self.read(inputs[dataset_name], dataset_name)
-                anchors.append(handle)
-                hop = handle.hop
-            else:
-                child_hops = [build(child) for child in item.inputs]
-                attrs = _attrs_from_data(item.data)
-                hop = op_hop(item.opcode, child_hops, attrs)
-            hops[item.id] = hop
-            return hop
+        def read_dataset(dataset_name: str) -> Hop:
+            if dataset_name not in inputs:
+                raise RecomputationError(
+                    f"recompute needs input dataset {dataset_name!r}"
+                )
+            handle = self.read(inputs[dataset_name], dataset_name)
+            anchors.append(handle)
+            return handle.hop
 
-        root = build(root_item)
+        root = hops_from_item(root_item, read_dataset)
         handle = MatrixHandle(self, root)
         return self.compute(handle)
+
+    def recompute_from_lineage(self, item: LineageItem) -> Value:
+        """Replay a live lineage trace to rebuild a lost value (§3.2).
+
+        Fault-recovery entry point: when every cached copy of an
+        intermediate has been lost (injected cache loss, GPU eviction
+        under memory pressure, executor loss), the interpreter calls
+        this to recompute the value from the session's registered input
+        datasets.  Replays run through the full compilation chain, so
+        still-cached sub-traces are reused rather than re-executed.
+        """
+        if item.opcode == "lit":
+            return ScalarValue(float(item.data[0]))
+        if item.opcode == "data":
+            name = str(item.data[0])
+            if name not in self._datasets:
+                raise RecomputationError(
+                    f"cannot recompute: dataset {name!r} is not registered"
+                )
+            data = self._datasets[name]
+            return (ScalarValue(data) if isinstance(data, float)
+                    else MatrixValue(data))
+        anchors: list[MatrixHandle] = []
+
+        def read_dataset(dataset_name: str) -> Hop:
+            if dataset_name not in self._datasets:
+                raise RecomputationError(
+                    f"cannot recompute: dataset {dataset_name!r} is not "
+                    f"registered with this session"
+                )
+            handle = self.read(self._datasets[dataset_name], dataset_name)
+            anchors.append(handle)
+            return handle.hop
+
+        root = hops_from_item(item, read_dataset)
+        handle = MatrixHandle(self, root)
+        self.compute(handle)
+        value = handle.payloads.get(BACKEND_CP)
+        if value is None:
+            raise RecomputationError(
+                f"lineage replay of {item.opcode!r} produced no CP value"
+            )
+        return value
 
     # ------------------------------------------------------------------ reporting
 
@@ -667,11 +721,3 @@ def _release_ptr(memory, ptr) -> None:
     """weakref.finalize target: release a GPU pointer on handle GC."""
     if not ptr.freed:
         memory.release(ptr)
-
-
-def _attrs_from_data(data: tuple) -> dict:
-    """Rebuild an attribute dict from a flattened lineage data tuple."""
-    attrs = {}
-    for i in range(0, len(data) - 1, 2):
-        attrs[str(data[i])] = data[i + 1]
-    return attrs

@@ -1,0 +1,302 @@
+"""Deterministic fault schedules: what fails, where, and how often.
+
+A :class:`FaultPlan` is a *seeded, declarative* schedule of injected
+failures plus the retry budgets that bound the recovery machinery.  Every
+fault is keyed either to a **site index** (the n-th Spark task launched,
+the n-th GPU allocation, the n-th federated round, the n-th interpreter
+instruction, ...) or to the **sim clock** (first matching site at or
+after ``after_time`` simulated seconds).  Because the simulator itself is
+deterministic, a given plan replayed against the same program produces
+the identical sequence of faults, retries, and recoveries — which is what
+lets the chaos suite assert that faulted runs converge to outputs
+numerically identical to the fault-free run.
+
+Plans round-trip losslessly through JSON (:meth:`FaultPlan.to_json` /
+:meth:`FaultPlan.from_json`) and parse from a compact command-line DSL
+(:meth:`FaultPlan.parse`)::
+
+    spark_task@3;gpu_alloc@0,count=2;fed_timeout@1,worker=2;seed=7
+
+Fault *effects* only ever alter simulated time, allocation churn, and
+counters — never computed values.  Recovery recomputes the identical
+numpy kernels, so final numerics are bit-equal to the fault-free run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+# ------------------------------------------------------------- fault kinds
+
+#: one Spark task attempt fails after computing (result discarded).
+KIND_SPARK_TASK = "spark_task"
+#: an executor dies before a job: its shuffle files + cached partitions vanish.
+KIND_EXECUTOR_LOSS = "executor_loss"
+#: one ``cudaMalloc`` fails (driver error / transient OOM).
+KIND_GPU_ALLOC = "gpu_alloc"
+#: a federated worker's response is lost (coordinator times out).
+KIND_FED_TIMEOUT = "fed_timeout"
+#: a federated worker responds ``factor``x slower than modeled.
+KIND_FED_SLOW = "fed_slow"
+#: a driver-cache spill write fails (payload dropped instead of spilled).
+KIND_SPILL_IO = "spill_io"
+#: a disk-resident cache binary is unreadable (restore fails, entry lost).
+KIND_RESTORE_IO = "restore_io"
+#: every copy of a randomly chosen cached intermediate is lost.
+KIND_CACHE_LOST = "cache_lost"
+
+KINDS = (
+    KIND_SPARK_TASK, KIND_EXECUTOR_LOSS, KIND_GPU_ALLOC, KIND_FED_TIMEOUT,
+    KIND_FED_SLOW, KIND_SPILL_IO, KIND_RESTORE_IO, KIND_CACHE_LOST,
+)
+
+#: which occurrence counter each kind is keyed to (documentation +
+#: the schedule-spec reference in docs/FAULTS.md).
+KIND_INDEX_MEANING = {
+    KIND_SPARK_TASK: "n-th Spark task launched (map + result stages)",
+    KIND_EXECUTOR_LOSS: "n-th Spark job submitted",
+    KIND_GPU_ALLOC: "n-th GPU allocation request",
+    KIND_FED_TIMEOUT: "n-th federated round",
+    KIND_FED_SLOW: "n-th federated round",
+    KIND_SPILL_IO: "n-th disk spill attempt (driver cache or executor block)",
+    KIND_RESTORE_IO: "n-th driver-cache disk restore",
+    KIND_CACHE_LOST: "n-th interpreter instruction",
+}
+
+
+@dataclass
+class FaultSpec:
+    """One scheduled fault.
+
+    ``at`` indexes the kind's occurrence counter (0-based, see
+    :data:`KIND_INDEX_MEANING`); ``at=None`` arms a clock-keyed fault
+    that fires at the first matching site once the host sim clock
+    reaches ``after_time``.  ``count`` fails the same site ``count``
+    consecutive times (exercising retry loops); ``target`` restricts
+    worker/executor-scoped kinds to one id; ``factor`` is the slowdown
+    multiplier of :data:`KIND_FED_SLOW` faults.
+    """
+
+    kind: str
+    at: Optional[int] = None
+    count: int = 1
+    target: Optional[int] = None
+    factor: float = 4.0
+    after_time: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r} (expected one of {KINDS})"
+            )
+        if self.at is None and self.after_time is None:
+            raise ValueError(
+                f"fault spec {self.kind!r} needs an index (at=) or a "
+                f"clock key (after_time=)"
+            )
+        if self.count < 1:
+            raise ValueError(f"fault count must be >= 1, got {self.count}")
+
+    def to_json(self) -> dict:
+        out: dict = {"kind": self.kind}
+        if self.at is not None:
+            out["at"] = self.at
+        if self.count != 1:
+            out["count"] = self.count
+        if self.target is not None:
+            out["target"] = self.target
+        if self.kind == KIND_FED_SLOW:
+            out["factor"] = self.factor
+        if self.after_time is not None:
+            out["after_time"] = self.after_time
+        return out
+
+    @classmethod
+    def from_json(cls, data: dict) -> "FaultSpec":
+        return cls(
+            kind=data["kind"],
+            at=data.get("at"),
+            count=int(data.get("count", 1)),
+            target=data.get("target"),
+            factor=float(data.get("factor", 4.0)),
+            after_time=data.get("after_time"),
+        )
+
+
+@dataclass
+class FaultPlan:
+    """A complete fault schedule plus recovery (retry) budgets."""
+
+    specs: list[FaultSpec] = field(default_factory=list)
+    #: seed of the injector's own RNG (victim selection for
+    #: ``executor_loss`` without a target and for ``cache_lost``).
+    seed: int = 1234
+    #: Spark: failed task attempts tolerated per task before the job fails.
+    max_task_retries: int = 3
+    #: GPU: failed allocation attempts tolerated per request (each retry
+    #: is preceded by an evict — ``empty_cache`` — recovery step).
+    max_alloc_retries: int = 3
+    #: federated: lost responses tolerated per worker per round.
+    max_fed_retries: int = 4
+    #: federated: first retry backoff (doubles per attempt).
+    fed_backoff_base_s: float = 0.05
+    #: federated: how long the coordinator waits before declaring a
+    #: response lost.
+    fed_timeout_s: float = 0.25
+    #: federated: fraction of sites that must have responded for a round
+    #: to continue in *degraded* mode once a worker exhausts its budget.
+    quorum_fraction: float = 1.0
+
+    # -- serialization -------------------------------------------------------
+
+    def to_json(self) -> dict:
+        """Lossless plain-dict form (inverse of :meth:`from_json`)."""
+        return {
+            "seed": self.seed,
+            "max_task_retries": self.max_task_retries,
+            "max_alloc_retries": self.max_alloc_retries,
+            "max_fed_retries": self.max_fed_retries,
+            "fed_backoff_base_s": self.fed_backoff_base_s,
+            "fed_timeout_s": self.fed_timeout_s,
+            "quorum_fraction": self.quorum_fraction,
+            "specs": [spec.to_json() for spec in self.specs],
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "FaultPlan":
+        return cls(
+            specs=[FaultSpec.from_json(s) for s in data.get("specs", ())],
+            seed=int(data.get("seed", 1234)),
+            max_task_retries=int(data.get("max_task_retries", 3)),
+            max_alloc_retries=int(data.get("max_alloc_retries", 3)),
+            max_fed_retries=int(data.get("max_fed_retries", 4)),
+            fed_backoff_base_s=float(data.get("fed_backoff_base_s", 0.05)),
+            fed_timeout_s=float(data.get("fed_timeout_s", 0.25)),
+            quorum_fraction=float(data.get("quorum_fraction", 1.0)),
+        )
+
+    def dumps(self) -> str:
+        return json.dumps(self.to_json(), indent=2, sort_keys=True)
+
+    @classmethod
+    def loads(cls, text: str) -> "FaultPlan":
+        return cls.from_json(json.loads(text))
+
+    # -- command-line spec ----------------------------------------------------
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Parse a ``--faults`` argument.
+
+        Accepts (in precedence order) a path to a JSON plan file, an
+        inline JSON object, or the ``;``-separated mini-DSL::
+
+            kind@index[,key=value...] | kind,after=seconds[,...] | key=value
+
+        Spec keys: ``count``, ``worker``/``target``, ``factor``,
+        ``after``.  Plan keys: any numeric :class:`FaultPlan` field
+        (``seed``, ``max_task_retries``, ``quorum_fraction``, ...).
+        """
+        spec = spec.strip()
+        if os.path.isfile(spec):
+            with open(spec, "r", encoding="utf-8") as fh:
+                return cls.loads(fh.read())
+        if spec.startswith("{"):
+            return cls.loads(spec)
+        plan = cls()
+        for token in filter(None, (t.strip() for t in spec.split(";"))):
+            head, _, tail = token.partition(",")
+            if "@" in head:
+                kind, _, index = head.partition("@")
+                fields: dict = {"kind": kind.strip(), "at": int(index)}
+            elif "=" not in head:
+                fields = {"kind": head.strip()}  # clock-keyed: needs after=
+            else:
+                _set_plan_field(plan, token)
+                continue
+            for part in filter(None, (p.strip() for p in tail.split(","))):
+                key, _, value = part.partition("=")
+                key = key.strip()
+                if key == "count":
+                    fields["count"] = int(value)
+                elif key in ("worker", "executor", "target"):
+                    fields["target"] = int(value)
+                elif key == "factor":
+                    fields["factor"] = float(value)
+                elif key == "after":
+                    fields["after_time"] = float(value)
+                else:
+                    raise ValueError(f"unknown fault spec key {key!r}")
+            plan.specs.append(FaultSpec(**fields))
+        return plan
+
+    # -- randomized plans (chaos sweep) ---------------------------------------
+
+    @classmethod
+    def randomize(cls, seed: int, n_faults: int = 4, max_index: int = 24,
+                  kinds: Optional[tuple] = None) -> "FaultPlan":
+        """A small random plan for the seed-sweep (``scripts/chaos_sweep.py``).
+
+        Fault counts stay within the default retry budgets so every
+        generated plan is recoverable; the plan itself is a pure function
+        of ``seed``.
+        """
+        rng = random.Random(seed)
+        pool = list(kinds or (
+            KIND_SPARK_TASK, KIND_EXECUTOR_LOSS, KIND_GPU_ALLOC,
+            KIND_CACHE_LOST, KIND_SPILL_IO, KIND_RESTORE_IO,
+        ))
+        specs = [
+            FaultSpec(
+                kind=rng.choice(pool),
+                at=rng.randrange(max_index),
+                count=rng.randint(1, 2),
+            )
+            for _ in range(n_faults)
+        ]
+        return cls(specs=specs, seed=seed)
+
+
+def _set_plan_field(plan: FaultPlan, token: str) -> None:
+    key, _, value = token.partition("=")
+    key = key.strip()
+    if key == "quorum":
+        key = "quorum_fraction"
+    current = getattr(plan, key, None)
+    if current is None or key == "specs":
+        raise ValueError(f"unknown fault plan field {key!r}")
+    setattr(plan, key, type(current)(float(value)))
+
+
+# ------------------------------------------------- ambient plan (harness)
+
+_active_plan: Optional[FaultPlan] = None
+
+
+def install_plan(plan: FaultPlan) -> FaultPlan:
+    """Install an ambient fault plan (harness ``--faults``).
+
+    Mirrors ``repro.obs.enable_tracing``: sessions created while a plan
+    is installed pick it up when their config carries no explicit
+    ``faults`` field, so the flag reaches sessions constructed deep
+    inside workload drivers.
+    """
+    global _active_plan
+    _active_plan = plan
+    return plan
+
+
+def uninstall_plan() -> Optional[FaultPlan]:
+    """Remove the ambient plan; returns it for inspection."""
+    global _active_plan
+    plan, _active_plan = _active_plan, None
+    return plan
+
+
+def current_plan() -> Optional[FaultPlan]:
+    """The ambient fault plan, if one is installed."""
+    return _active_plan

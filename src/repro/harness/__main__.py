@@ -52,6 +52,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--trace-summary", action="store_true",
                         help="with --trace: also print the text summary "
                              "(top-k instructions, hit rates, evictions)")
+    parser.add_argument("--faults", metavar="SPEC", default=None,
+                        help="inject deterministic faults (repro.faults): "
+                             "SPEC is a plan JSON file, inline JSON, or a "
+                             "DSL like 'spark_task@0;gpu_alloc@2,count=2' "
+                             "(see docs/FAULTS.md)")
     parser.add_argument("--verify-ir", action="store_true",
                         help="run the static IR verifier (repro.analysis) "
                              "over every compiled block; print the merged "
@@ -83,6 +88,15 @@ def main(argv: list[str] | None = None) -> int:
         ir_collector = AnalysisCollector()
         install_collector(ir_collector)
 
+    fault_plan = None
+    if args.faults is not None:
+        from repro.faults import FaultPlan, install_plan
+
+        fault_plan = FaultPlan.parse(args.faults)
+        install_plan(fault_plan)
+        print(f"[faults: injecting {len(fault_plan.specs)} fault spec(s), "
+              f"seed {fault_plan.seed}]")
+
     try:
         for name in selected:
             start = time.time()
@@ -90,6 +104,10 @@ def main(argv: list[str] | None = None) -> int:
             print(result.table)
             print(f"[{name}: regenerated in {time.time() - start:.1f}s wall]\n")
     finally:
+        if fault_plan is not None:
+            from repro.faults import uninstall_plan
+
+            uninstall_plan()
         if collector is not None:
             from repro.obs import disable_tracing, export_chrome_trace
 

@@ -95,6 +95,13 @@ EV_FED_REQUEST = "fed/request"
 #: args: rule, severity, hop, opcode, message).
 EV_IR_DIAG = "analysis/diagnostic"
 
+#: instant — an injected fault fired (``repro.faults``; args: kind + site
+#: details such as task/round/worker ids).
+EV_FAULT_INJECT = "fault/inject"
+#: instant — a recovery path completed after one or more injected faults
+#: (args: kind, attempts, and what was recomputed/retried).
+EV_FAULT_RECOVER = "fault/recover"
+
 
 @dataclass
 class Event:

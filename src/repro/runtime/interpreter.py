@@ -28,12 +28,14 @@ from repro.common.errors import PlacementError
 from repro.common.simclock import HOST, SimFuture
 from repro.common.stats import (
     CHECKPOINTS_PLACED,
+    FAULT_LINEAGE_RECOMPUTES,
     INSTRUCTIONS_SKIPPED,
     LINEAGE_TRACED,
     PREFETCH_ISSUED,
     BROADCAST_ISSUED,
     SPARK_ACTION_REUSE,
 )
+from repro.faults.plan import KIND_CACHE_LOST
 from repro.compiler.ir import KIND_DATA, KIND_LITERAL, KIND_OP, Hop
 from repro.core.entry import (
     BACKEND_CP,
@@ -109,6 +111,11 @@ class Interpreter:
         self.clock = session.clock
         self.cache = session.cache
         self.tracer = session.tracer
+        self.faults = session.faults
+        #: one acquired-pointer list per active run: recovery can re-enter
+        #: :meth:`run` (recompute-from-lineage) while an outer run is live,
+        #: and each nesting level must release exactly its own references.
+        self._acquired_stack: list[list[GpuData]] = []
 
     # ------------------------------------------------------------------ top level
 
@@ -122,18 +129,20 @@ class Interpreter:
         unreferenced pointers to the Free list (Fig. 8(b)).
         """
         env: dict[int, Slot] = {}
-        self._acquired: list[GpuData] = []
+        acquired: list[GpuData] = []
+        self._acquired_stack.append(acquired)
         for hop in order:
-            slot = self._execute_one(hop, env, self._acquired)
+            slot = self._execute_one(hop, env, acquired)
             env[hop.id] = slot
         return env
 
     def release_acquired(self) -> None:
         """Drop the execution references on all GPU pointers of this run."""
-        for data in self._acquired:
+        if not self._acquired_stack:
+            return
+        for data in self._acquired_stack.pop():
             if not data.ptr.freed:
                 self.session.gpu.memory.release(data.ptr)
-        self._acquired = []
 
     # --------------------------------------------------------------- per instruction
 
@@ -158,6 +167,11 @@ class Interpreter:
             # transpose fused into tsmm/cpmm: pass through the input slot
             slot.fused_from = in_slots[0]
             return slot
+
+        # fault-injection draw point: each op instruction may lose cached
+        # intermediates, exercising recompute-from-lineage downstream
+        if self.faults.enabled:
+            self.faults.lost_cache_entries(self.session)
 
         # the instruction span covers REUSE + EXECUTE + PUT on the driver
         # lane, so every cache/backend event emitted underneath carries
@@ -252,7 +266,7 @@ class Interpreter:
                 slot.payloads.pop(BACKEND_GPU, None)
             else:
                 self.session.gpu.memory.reuse_from_free(data.ptr)
-                self._acquired.append(data)
+                self._acquired_stack[-1].append(data)
         if BACKEND_SP in slot.payloads:
             self.session.spark_mgr.reuse_rdd(entry)
         if hop.placement == BACKEND_SP and BACKEND_CP in slot.payloads:
@@ -341,6 +355,17 @@ class Interpreter:
             value = self.session.gpu.to_host(data)
             slot.payloads[BACKEND_CP] = value
             self._cache_exchange(slot, value)
+            return value
+        if self.faults.enabled and slot.lineage is not None:
+            # every payload copy was lost to injected faults: rebuild the
+            # value by replaying its lineage (the paper's core recovery
+            # argument — lineage makes intermediates cheap to reconstruct)
+            value = self.session.recompute_from_lineage(slot.lineage)
+            slot.payloads[BACKEND_CP] = value
+            self.stats.inc(FAULT_LINEAGE_RECOMPUTES)
+            self.faults.recovered(KIND_CACHE_LOST, LANE_CP,
+                                  key=slot.lineage.id,
+                                  opcode=slot.lineage.opcode)
             return value
         raise PlacementError("slot has no payload to materialize")
 
