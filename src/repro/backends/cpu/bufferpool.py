@@ -5,6 +5,11 @@ use; unpinned blocks may be evicted to local disk under memory pressure
 and restored on next access.  Because this is a simulator, evicted arrays
 are retained in a shadow store and the pool charges simulated disk I/O
 time instead of actually serializing them.
+
+Byte accounting and victim selection route through the shared
+:class:`~repro.memory.arbiter.MemoryArbiter` (the ``CPU_BP`` region);
+the pool's native order is LRU, expressed as the region's eviction
+policy over per-block access stamps rather than pool-local logic.
 """
 
 from __future__ import annotations
@@ -16,6 +21,7 @@ from repro.common.config import CpuConfig
 from repro.common.errors import BufferPoolError
 from repro.common.simclock import HOST, SimClock
 from repro.common.stats import BUFFERPOOL_EVICTIONS, Stats
+from repro.memory import REGION_BUFFERPOOL, MemoryArbiter
 from repro.runtime.values import Value
 
 
@@ -25,26 +31,46 @@ class _Block:
     nbytes: int
     pinned: int = 0
     on_disk: bool = False
+    # policy-visible metadata (Evictable protocol): LRU reads
+    # ``last_access``; cost_size/lrc/mrd read the reference counters.
+    size: int = 0
+    compute_cost: float = 0.0
+    last_access: int = 0
+    hits: int = 0
+    misses: int = 0
+    jobs: int = 0
 
 
 class BufferPool:
     """LRU buffer pool over named matrix blocks."""
 
-    def __init__(self, config: CpuConfig, clock: SimClock, stats: Stats) -> None:
+    def __init__(self, config: CpuConfig, clock: SimClock, stats: Stats,
+                 arbiter: MemoryArbiter | None = None) -> None:
         self._config = config
         self._clock = clock
         self._stats = stats
+        if arbiter is None:
+            arbiter = MemoryArbiter(stats)
+        self.arbiter = arbiter
+        self._region = arbiter.add_region(
+            REGION_BUFFERPOOL, config.buffer_pool_bytes,
+            policy_name=config.policy,
+        )
         self._blocks: OrderedDict[int, _Block] = OrderedDict()
-        self._in_memory_bytes = 0
+        self._tick = 0
 
     @property
     def in_memory_bytes(self) -> int:
         """Bytes currently resident in memory."""
-        return self._in_memory_bytes
+        return self._region.used
 
     @property
     def capacity(self) -> int:
         return self._config.buffer_pool_bytes
+
+    def _touch(self, block: _Block) -> None:
+        self._tick += 1
+        block.last_access = self._tick
 
     def put(self, block_id: int, value: Value) -> None:
         """Register a new block, evicting LRU blocks if over budget."""
@@ -53,8 +79,10 @@ class BufferPool:
             self.touch(block_id)
             return
         self._make_space(nbytes)
-        self._blocks[block_id] = _Block(value, nbytes)
-        self._in_memory_bytes += nbytes
+        block = _Block(value, nbytes, size=nbytes)
+        self._touch(block)
+        self._blocks[block_id] = block
+        self.arbiter.acquire(REGION_BUFFERPOOL, nbytes)
 
     def get(self, block_id: int) -> Value:
         """Fetch a block, restoring it from disk if evicted."""
@@ -68,13 +96,19 @@ class BufferPool:
                 block.nbytes / self._config.disk_bytes_per_s, HOST
             )
             block.on_disk = False
-            self._in_memory_bytes += block.nbytes
+            self.arbiter.acquire(REGION_BUFFERPOOL, block.nbytes)
+            self.arbiter.record_restore(REGION_BUFFERPOOL, block.nbytes,
+                                        block=block_id)
+        block.hits += 1
+        self._touch(block)
         self._blocks.move_to_end(block_id)
         return block.value
 
     def touch(self, block_id: int) -> None:
         """Mark a block most-recently-used."""
-        if block_id in self._blocks:
+        block = self._blocks.get(block_id)
+        if block is not None:
+            self._touch(block)
             self._blocks.move_to_end(block_id)
 
     def pin(self, block_id: int) -> None:
@@ -84,21 +118,45 @@ class BufferPool:
             if block.on_disk:
                 self.get(block_id)
             block.pinned += 1
+            if block.pinned == 1:
+                self.arbiter.pin(REGION_BUFFERPOOL, block.nbytes)
 
     def unpin(self, block_id: int) -> None:
         """Release a pin."""
         block = self._blocks.get(block_id)
         if block is not None and block.pinned > 0:
             block.pinned -= 1
+            if block.pinned == 0:
+                self.arbiter.unpin(REGION_BUFFERPOOL, block.nbytes)
 
     def remove(self, block_id: int) -> None:
         """Drop a block entirely (variable went out of scope)."""
         block = self._blocks.pop(block_id, None)
-        if block is not None and not block.on_disk:
-            self._in_memory_bytes -= block.nbytes
+        if block is not None:
+            if block.pinned:
+                self.arbiter.unpin(REGION_BUFFERPOOL, block.nbytes)
+            if not block.on_disk:
+                self.arbiter.release(REGION_BUFFERPOOL, block.nbytes)
 
     def contains(self, block_id: int) -> bool:
         return block_id in self._blocks
+
+    def _candidates(self) -> list[_Block]:
+        return [
+            blk for blk in self._blocks.values()
+            if not blk.pinned and not blk.on_disk
+        ]
+
+    def _evict(self, victim: _Block) -> None:
+        """Spill one unpinned block to simulated local disk."""
+        self._clock.advance(
+            victim.nbytes / self._config.disk_bytes_per_s, HOST
+        )
+        victim.on_disk = True
+        self.arbiter.release(REGION_BUFFERPOOL, victim.nbytes)
+        self._stats.inc(BUFFERPOOL_EVICTIONS)
+        self.arbiter.record_evict(REGION_BUFFERPOOL, victim.nbytes)
+        self.arbiter.record_spill(REGION_BUFFERPOOL, victim.nbytes)
 
     def _make_space(self, nbytes: int) -> None:
         """Evict LRU unpinned blocks to disk until ``nbytes`` fit."""
@@ -107,20 +165,10 @@ class BufferPool:
                 f"block of {nbytes} bytes exceeds buffer pool capacity "
                 f"{self.capacity}"
             )
-        while self._in_memory_bytes + nbytes > self.capacity:
-            victim_id = next(
-                (bid for bid, blk in self._blocks.items()
-                 if not blk.pinned and not blk.on_disk),
-                None,
+        if not self.arbiter.ensure_space(
+            REGION_BUFFERPOOL, nbytes, candidates=self._candidates,
+            evict=self._evict, now=self._tick,
+        ):
+            raise BufferPoolError(
+                "buffer pool exhausted: all blocks pinned"
             )
-            if victim_id is None:
-                raise BufferPoolError(
-                    "buffer pool exhausted: all blocks pinned"
-                )
-            victim = self._blocks[victim_id]
-            self._clock.advance(
-                victim.nbytes / self._config.disk_bytes_per_s, HOST
-            )
-            victim.on_disk = True
-            self._in_memory_bytes -= victim.nbytes
-            self._stats.inc(BUFFERPOOL_EVICTIONS)

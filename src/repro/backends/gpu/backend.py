@@ -58,7 +58,8 @@ class GpuBackend:
     name = "GPU"
 
     def __init__(self, config: GpuConfig, clock: SimClock, stats: Stats,
-                 mode: str = MODE_MEMPHIS, tracer=None, faults=None) -> None:
+                 mode: str = MODE_MEMPHIS, tracer=None, faults=None,
+                 arbiter=None) -> None:
         self.config = config
         self.clock = clock
         self.stats = stats
@@ -66,7 +67,7 @@ class GpuBackend:
         self.stream = GpuStream(config, clock, stats, tracer=tracer)
         self.memory = GpuMemoryManager(
             self.device, self.stream, clock, stats, mode, tracer=tracer,
-            faults=faults,
+            faults=faults, arbiter=arbiter,
         )
 
     def supports(self, opcode: str) -> bool:

@@ -11,7 +11,11 @@ Implements the paper's §4.2 design (Fig. 8, Algorithm 1):
   Algorithm 1: malloc → free a just-larger pointer → repeatedly free →
   flush all free pointers → device-to-host eviction → defragmentation;
 * the eviction score (Eq. 2) ``T_a(o) + 1/h(o) + c(o)`` orders each
-  queue so recently-reused, short-lineage, expensive pointers survive.
+  queue so recently-reused, short-lineage, expensive pointers survive;
+  the scoring itself lives in ``core/policies.py`` (``score_pointer``)
+  and victims are chosen through the shared
+  :class:`~repro.memory.arbiter.MemoryArbiter`, whose ``GPU`` region
+  mirrors the device allocator's byte ledger.
 
 The manager supports three modes so baselines share one implementation:
 ``malloc`` (cudaMalloc/cudaFree every time — Base), ``pool`` (exact-size
@@ -24,7 +28,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
-from repro.backends.gpu.device import GpuDevice
+from repro.backends.gpu.device import GpuDevice, _align
 from repro.backends.gpu.pointers import GpuPointer
 from repro.backends.gpu.stream import GpuStream
 from repro.common.config import GpuConfig
@@ -38,10 +42,12 @@ from repro.common.stats import (
     GPU_MALLOCS,
     GPU_RECYCLED,
     GPU_REUSED,
+    MEM_D2H_AVOIDED,
     Stats,
 )
-from repro.faults.injector import NULL_INJECTOR
+from repro.core.policies import make_policy
 from repro.faults.plan import KIND_GPU_ALLOC
+from repro.memory import REGION_GPU, MemoryArbiter
 from repro.obs.events import (
     EV_GPU_DEFRAG,
     EV_GPU_EVICT_D2H,
@@ -69,13 +75,20 @@ class GpuMemoryManager:
     def __init__(self, device: GpuDevice, stream: GpuStream, clock: SimClock,
                  stats: Stats, mode: str = MODE_MEMPHIS,
                  on_invalidate: Optional[Callable[[GpuPointer], None]] = None,
-                 tracer=None, faults=None) -> None:
+                 tracer=None, faults=None, arbiter=None) -> None:
         self.device = device
         self.stream = stream
         self.clock = clock
         self.stats = stats
         self.tracer = tracer if tracer is not None else NULL_TRACER
-        self.faults = faults if faults is not None else NULL_INJECTOR
+        if arbiter is None:
+            arbiter = MemoryArbiter(stats, tracer=self.tracer, faults=faults)
+        self.arbiter: MemoryArbiter = arbiter
+        self.faults = faults if faults is not None else arbiter.faults
+        self.policy = make_policy(device.config.policy)
+        self._region = arbiter.add_region(
+            REGION_GPU, device.capacity, policy=self.policy,
+        )
         self.mode = mode
         #: called before a free pointer's contents are destroyed, so the
         #: lineage cache can drop or host-save the entry backed by it.
@@ -99,12 +112,13 @@ class GpuMemoryManager:
         An injected allocation fault (transient driver error / OOM) is
         recovered by evict-and-retry: flush the pooled free pointers —
         invalidating the lineage-cache entries they back — and re-enter
-        the cascade, up to ``max_alloc_retries`` attempts.
+        the cascade, up to ``max_alloc_retries`` attempts.  The fault
+        draw point lives behind the arbiter so every region shares one
+        deterministic draw sequence.
         """
-        if self.faults.enabled:
-            fault = self.faults.gpu_alloc()
-            if fault is not None:
-                return self._allocate_faulted(size, shape, fault)
+        fault = self.arbiter.alloc_fault()
+        if fault is not None:
+            return self._allocate_faulted(size, shape, fault)
         return self._allocate(size, shape)
 
     def _allocate_faulted(self, size: int, shape: tuple[int, int],
@@ -217,7 +231,17 @@ class GpuMemoryManager:
         return freed_count
 
     def evict_to_host(self, ptr: GpuPointer) -> None:
-        """Device-to-host eviction of a free pointer (keeps data on host)."""
+        """Device-to-host eviction of a free pointer (keeps data on host).
+
+        Holistic eviction: before paying the D2H transfer, the arbiter is
+        consulted for residency in other regions — when the driver cache
+        (or its disk tier) already holds the value, the transfer is
+        skipped and the pointer is simply invalidated and freed.
+        """
+        if self.arbiter.resident_elsewhere(ptr, exclude=(REGION_GPU,)):
+            self.stats.inc(MEM_D2H_AVOIDED)
+            self._destroy_free_pointer(ptr, invalidate=True)
+            return
         self.stream.copy_d2h(ptr.size)
         self.stats.inc(GPU_EVICT_D2H)
         if self.tracer.enabled:
@@ -239,8 +263,9 @@ class GpuMemoryManager:
             return None
         uncached = [p for p in queue if not p.cached]
         if uncached:
-            max_cost = max((p.compute_cost for p in uncached), default=1.0)
-            victim = min(uncached, key=lambda p: self._score(p, max_cost))
+            victim = self.arbiter.select_victim(
+                REGION_GPU, uncached, score=self._pointer_score(uncached)
+            )
             queue.remove(victim)
             if not queue:
                 self.free_lists.pop(size, None)
@@ -320,6 +345,10 @@ class GpuMemoryManager:
     def _cuda_malloc(self, size: int) -> Optional[int]:
         offset = self.device.malloc(size)
         if offset is not None:
+            # mirror the device allocator's ledger in the GPU region
+            self.arbiter.acquire(
+                REGION_GPU, _align(size, self.config.alignment)
+            )
             # cudaMalloc synchronizes the device and costs driver latency
             self.stream.synchronize()
             self.clock.advance(self.config.malloc_latency_s, HOST)
@@ -335,7 +364,8 @@ class GpuMemoryManager:
         self.stream.synchronize()
         self.clock.advance(self.config.free_latency_s, HOST)
         self.clock.advance_to(self.clock.now(HOST), DEVICE)
-        self.device.free(ptr.offset)
+        freed = self.device.free(ptr.offset)
+        self.arbiter.release(REGION_GPU, freed)
         ptr.freed = True
         self.stats.inc(GPU_FREES)
         if self.tracer.enabled:
@@ -374,20 +404,30 @@ class GpuMemoryManager:
         for ptr in self.live.values():
             if ptr.offset in relocation:
                 ptr.offset = relocation[ptr.offset]
-        return self.device.malloc(size)
+        offset = self.device.malloc(size)
+        if offset is not None:
+            self.arbiter.acquire(
+                REGION_GPU, _align(size, self.config.alignment)
+            )
+        return offset
 
-    def _score(self, ptr: GpuPointer, max_cost: float) -> float:
-        """Eq. 2: ``T_a(o) + 1/h(o) + c(o)`` with normalized terms."""
-        now = max(self.clock.now(DEVICE), 1e-9)
-        t_a = ptr.last_access / now
-        height_term = 1.0 / max(ptr.lineage_height, 1)
-        cost_term = ptr.compute_cost / max(max_cost, 1e-9)
-        return t_a + height_term + cost_term
+    def _pointer_score(self, candidates: list[GpuPointer]):
+        """Eq. 2 score closure over one candidate set.
+
+        The scoring math lives in ``core/policies.py``
+        (``score_pointer``); this only fixes the context-dependent
+        normalisation terms — the device clock and the candidate set's
+        maximum compute cost.
+        """
+        now = self.clock.now(DEVICE)
+        max_cost = max((p.compute_cost for p in candidates), default=1.0)
+        return lambda p: self.policy.score_pointer(p, now, max_cost)
 
     def _pop_victim(self, queue: list[GpuPointer], size: int) -> GpuPointer:
         """Remove and return the minimum-score pointer of one queue."""
-        max_cost = max((p.compute_cost for p in queue), default=1.0)
-        victim = min(queue, key=lambda p: self._score(p, max_cost))
+        victim = self.arbiter.select_victim(
+            REGION_GPU, queue, score=self._pointer_score(queue)
+        )
         queue.remove(victim)
         if not queue:
             self.free_lists.pop(size, None)
@@ -396,15 +436,7 @@ class GpuMemoryManager:
 
     def _global_victim(self) -> Optional[GpuPointer]:
         """Minimum-score pointer across all free queues (not yet popped)."""
-        best: Optional[GpuPointer] = None
-        best_score = float("inf")
-        max_cost = max(
-            (p.compute_cost for q in self.free_lists.values() for p in q),
-            default=1.0,
+        pool = [p for q in self.free_lists.values() for p in q]
+        return self.arbiter.select_victim(
+            REGION_GPU, pool, score=self._pointer_score(pool)
         )
-        for queue in self.free_lists.values():
-            for ptr in queue:
-                score = self._score(ptr, max_cost)
-                if score < best_score:
-                    best, best_score = ptr, score
-        return best

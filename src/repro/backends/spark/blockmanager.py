@@ -6,12 +6,17 @@ LRU partitions of *other* RDDs are evicted — dropped for ``MEMORY_ONLY``
 or spilled to executor-local disk for ``MEMORY_AND_DISK``.  Dropped
 partitions of persisted RDDs are transparently recomputed from lineage on
 the next access, exactly like Spark.
+
+Storage-memory accounting and victim selection route through the shared
+:class:`~repro.memory.arbiter.MemoryArbiter` (the ``SP_BLOCKS`` region);
+Spark's native LRU order is the region's default eviction policy over
+per-partition access stamps.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional
 
 import numpy as np
@@ -19,14 +24,12 @@ import numpy as np
 from repro.common.config import SparkConfig, StorageLevel
 from repro.common.stats import (
     FAULT_PARTITIONS_DROPPED,
-    FAULT_SPILL_IO_ERRORS,
     SPARK_PART_EVICTED,
     SPARK_PART_SPILLED,
     Stats,
 )
 from repro.backends.spark.rdd import TaskMetrics
-from repro.faults.injector import NULL_INJECTOR
-from repro.faults.plan import KIND_SPILL_IO
+from repro.memory import REGION_SPARK_STORAGE, MemoryArbiter
 from repro.obs.events import (
     EV_SPARK_PART_EVICT,
     EV_SPARK_PART_SPILL,
@@ -41,6 +44,15 @@ class _CachedPartition:
     nbytes: int
     level: StorageLevel
     on_disk: bool = False
+    key: tuple[int, int] = field(default=(0, 0))
+    # policy-visible metadata (Evictable protocol): LRU reads
+    # ``last_access``; cost_size/lrc/mrd read the reference counters.
+    size: int = 0
+    compute_cost: float = 0.0
+    last_access: int = 0
+    hits: int = 0
+    misses: int = 0
+    jobs: int = 0
 
 
 class BlockManager:
@@ -53,13 +65,21 @@ class BlockManager:
     """
 
     def __init__(self, config: SparkConfig, stats: Stats,
-                 tracer=None, faults=None) -> None:
+                 tracer=None, faults=None, arbiter=None) -> None:
         self._config = config
         self._stats = stats
         self._tracer = tracer if tracer is not None else NULL_TRACER
-        self._faults = faults if faults is not None else NULL_INJECTOR
+        if arbiter is None:
+            arbiter = MemoryArbiter(stats, tracer=self._tracer, faults=faults)
+        self.arbiter: MemoryArbiter = arbiter
+        self._faults = faults if faults is not None else arbiter.faults
+        self._region = arbiter.add_region(
+            REGION_SPARK_STORAGE,
+            config.storage_memory * config.num_executors,
+            policy_name=config.policy,
+        )
         self._partitions: OrderedDict[tuple[int, int], _CachedPartition] = OrderedDict()
-        self._memory_used = 0
+        self._tick = 0
         #: RDD id currently being materialized (its partitions are exempt
         #: from eviction, mirroring Spark's unroll-memory protection).
         self._computing_rdd: Optional[int] = None
@@ -71,11 +91,15 @@ class BlockManager:
 
     @property
     def memory_used(self) -> int:
-        return self._memory_used
+        return self._region.used
 
     def set_computing(self, rdd_id: Optional[int]) -> None:
         """Protect ``rdd_id``'s partitions from eviction while it runs."""
         self._computing_rdd = rdd_id
+
+    def _touch(self, part: _CachedPartition) -> None:
+        self._tick += 1
+        part.last_access = self._tick
 
     # -- cache operations ---------------------------------------------------
 
@@ -83,14 +107,16 @@ class BlockManager:
                       level: StorageLevel) -> bool:
         """Cache one partition; returns False if it could not be stored."""
         key = (rdd_id, index)
-        if key in self._partitions:
+        existing = self._partitions.get(key)
+        if existing is not None:
+            self._touch(existing)
             self._partitions.move_to_end(key)
             return True
         nbytes = int(block.nbytes)
         if level is StorageLevel.DISK_ONLY:
             if self._spill_failed(key, nbytes):
                 return False
-            self._partitions[key] = _CachedPartition(block, nbytes, level, on_disk=True)
+            self._store(key, block, nbytes, level, on_disk=True)
             self._stats.inc(SPARK_PART_SPILLED)
             self._trace(EV_SPARK_PART_SPILL, key, nbytes)
             return True
@@ -98,16 +124,21 @@ class BlockManager:
             if level is StorageLevel.MEMORY_AND_DISK:
                 if self._spill_failed(key, nbytes):
                     return False
-                self._partitions[key] = _CachedPartition(
-                    block, nbytes, level, on_disk=True
-                )
+                self._store(key, block, nbytes, level, on_disk=True)
                 self._stats.inc(SPARK_PART_SPILLED)
                 self._trace(EV_SPARK_PART_SPILL, key, nbytes)
                 return True
             return False
-        self._partitions[key] = _CachedPartition(block, nbytes, level)
-        self._memory_used += nbytes
+        self._store(key, block, nbytes, level, on_disk=False)
+        self.arbiter.acquire(REGION_SPARK_STORAGE, nbytes)
         return True
+
+    def _store(self, key: tuple[int, int], block: np.ndarray, nbytes: int,
+               level: StorageLevel, on_disk: bool) -> None:
+        part = _CachedPartition(block, nbytes, level, on_disk=on_disk,
+                                key=key, size=nbytes)
+        self._touch(part)
+        self._partitions[key] = part
 
     def get_partition(self, rdd_id: int, index: int,
                       metrics: TaskMetrics) -> Optional[np.ndarray]:
@@ -117,6 +148,8 @@ class BlockManager:
             return None
         if part.on_disk:
             metrics.bytes_spilled += part.nbytes
+        part.hits += 1
+        self._touch(part)
         self._partitions.move_to_end((rdd_id, index))
         return part.block
 
@@ -126,7 +159,7 @@ class BlockManager:
         for key in [k for k in self._partitions if k[0] == rdd_id]:
             part = self._partitions.pop(key)
             if not part.on_disk:
-                self._memory_used -= part.nbytes
+                self.arbiter.release(REGION_SPARK_STORAGE, part.nbytes)
                 freed += part.nbytes
         return freed
 
@@ -155,34 +188,39 @@ class BlockManager:
 
     # -- eviction ------------------------------------------------------------
 
+    def _candidates(self, protect_rdd: int) -> list[_CachedPartition]:
+        return [
+            part for k, part in self._partitions.items()
+            if not part.on_disk
+            and k[0] != protect_rdd
+            and k[0] != self._computing_rdd
+        ]
+
+    def _evict(self, victim: _CachedPartition) -> None:
+        """Drop or spill one victim partition (the region's physics)."""
+        victim_key = victim.key
+        self.arbiter.release(REGION_SPARK_STORAGE, victim.nbytes)
+        self.arbiter.record_evict(REGION_SPARK_STORAGE, victim.nbytes,
+                                  rdd=victim_key[0])
+        if (victim.level is StorageLevel.MEMORY_AND_DISK
+                and not self._spill_failed(victim_key, victim.nbytes)):
+            victim.on_disk = True
+            self._stats.inc(SPARK_PART_SPILLED)
+            self.arbiter.record_spill(REGION_SPARK_STORAGE, victim.nbytes,
+                                      rdd=victim_key[0])
+            self._trace(EV_SPARK_PART_SPILL, victim_key, victim.nbytes)
+        else:
+            del self._partitions[victim_key]
+            self._stats.inc(SPARK_PART_EVICTED)
+            self._trace(EV_SPARK_PART_EVICT, victim_key, victim.nbytes)
+
     def _evict_until_fits(self, nbytes: int, protect_rdd: int) -> bool:
-        """LRU-evict partitions of other RDDs until ``nbytes`` fit."""
-        if nbytes > self.capacity:
-            return False
-        while self._memory_used + nbytes > self.capacity:
-            victim_key = next(
-                (
-                    k for k, part in self._partitions.items()
-                    if not part.on_disk
-                    and k[0] != protect_rdd
-                    and k[0] != self._computing_rdd
-                ),
-                None,
-            )
-            if victim_key is None:
-                return False
-            victim = self._partitions[victim_key]
-            self._memory_used -= victim.nbytes
-            if (victim.level is StorageLevel.MEMORY_AND_DISK
-                    and not self._spill_failed(victim_key, victim.nbytes)):
-                victim.on_disk = True
-                self._stats.inc(SPARK_PART_SPILLED)
-                self._trace(EV_SPARK_PART_SPILL, victim_key, victim.nbytes)
-            else:
-                del self._partitions[victim_key]
-                self._stats.inc(SPARK_PART_EVICTED)
-                self._trace(EV_SPARK_PART_EVICT, victim_key, victim.nbytes)
-        return True
+        """Evict partitions of other RDDs until ``nbytes`` fit."""
+        return self.arbiter.ensure_space(
+            REGION_SPARK_STORAGE, nbytes,
+            candidates=lambda: self._candidates(protect_rdd),
+            evict=self._evict, now=self._tick,
+        )
 
     # -- fault injection -----------------------------------------------------
 
@@ -193,12 +231,8 @@ class BlockManager:
         spill) — persisted RDDs recompute it from lineage on the next
         access, so the fault costs recomputation, never correctness.
         """
-        if not (self._faults.enabled and self._faults.spill_io()):
-            return False
-        self._stats.inc(FAULT_SPILL_IO_ERRORS)
-        self._faults.injected(KIND_SPILL_IO, LANE_SP, rdd=key[0],
-                              partition=key[1], nbytes=nbytes)
-        return True
+        return self.arbiter.spill_fault(LANE_SP, rdd=key[0],
+                                        partition=key[1], nbytes=nbytes)
 
     def drop_executor(self, executor_id: int, num_executors: int) -> int:
         """Drop every partition striped onto a lost executor.
@@ -214,7 +248,7 @@ class BlockManager:
         for key in lost:
             part = self._partitions.pop(key)
             if not part.on_disk:
-                self._memory_used -= part.nbytes
+                self.arbiter.release(REGION_SPARK_STORAGE, part.nbytes)
             self._trace(EV_SPARK_PART_EVICT, key, part.nbytes)
         if lost:
             self._stats.inc(FAULT_PARTITIONS_DROPPED, len(lost))

@@ -41,14 +41,14 @@ class SparkContext:
     """
 
     def __init__(self, config: SparkConfig, clock: SimClock, stats: Stats,
-                 tracer=None, faults=None) -> None:
+                 tracer=None, faults=None, arbiter=None) -> None:
         self.config = config
         self.clock = clock
         self.stats = stats
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.faults = faults if faults is not None else NULL_INJECTOR
         self.block_manager = BlockManager(config, stats, tracer=self.tracer,
-                                          faults=self.faults)
+                                          faults=self.faults, arbiter=arbiter)
         self.scheduler = DAGScheduler(self)
         self.driver_retained_bytes = 0
         self.shuffle_store_bytes = 0

@@ -43,6 +43,32 @@ class EvictionPolicyName(enum.Enum):
     MRD = "mrd"  #: most reference distance.
 
 
+#: ambient per-region policy overrides installed by the harness CLI
+#: (``--policy`` / ``--gpu-policy`` / ``--spark-policy``); applied to
+#: every :class:`MemphisConfig` constructed while installed, so the
+#: experiment drivers (which build their configs internally) pick the
+#: selected policies up without plumbing.
+_POLICY_OVERRIDES: dict[str, "EvictionPolicyName"] = {}
+
+
+def install_policy_overrides(policy: "EvictionPolicyName | None" = None,
+                             gpu_policy: "EvictionPolicyName | None" = None,
+                             spark_policy: "EvictionPolicyName | None" = None,
+                             ) -> None:
+    """Install ambient eviction-policy selections (harness CLI)."""
+    if policy is not None:
+        _POLICY_OVERRIDES["policy"] = policy
+    if gpu_policy is not None:
+        _POLICY_OVERRIDES["gpu_policy"] = gpu_policy
+    if spark_policy is not None:
+        _POLICY_OVERRIDES["spark_policy"] = spark_policy
+
+
+def clear_policy_overrides() -> None:
+    """Remove all ambient policy overrides."""
+    _POLICY_OVERRIDES.clear()
+
+
 class StorageLevel(enum.Enum):
     """Spark RDD persistence levels (subset used by the paper)."""
 
@@ -75,6 +101,10 @@ class SparkConfig:
     disk_bytes_per_s: float = 1 * GB
     #: default rows per partition block (squared blocking in SystemDS).
     block_size_rows: int = 1024
+    #: eviction order of the BlockManager's storage region (the
+    #: ``SP_BLOCKS`` memory region); Spark's native behaviour is LRU
+    #: over cached partitions.
+    policy: EvictionPolicyName = EvictionPolicyName.LRU
     broadcast_chunk_bytes: int = 4 * MB
     #: effective per-core executor compute throughput.
     executor_flops_per_s: float = 60e9
@@ -122,6 +152,10 @@ class GpuConfig:
     alignment: int = 512
     #: minimum output cells before an op is worth offloading to the GPU.
     min_cells: int = 512
+    #: eviction order of the unified GPU memory manager's free lists
+    #: (the ``GPU`` memory region); the default ``cost_size`` is the
+    #: paper's Eq. 2 pointer scoring.
+    policy: EvictionPolicyName = EvictionPolicyName.COST_SIZE
 
 
 @dataclass
@@ -140,6 +174,9 @@ class CpuConfig:
     probe_overhead_s: float = 2e-6
     #: buffer pool budget (paper: 20 GB).
     buffer_pool_bytes: int = 20 * GB // SCALE
+    #: eviction order of the buffer pool (the ``CPU_BP`` memory region);
+    #: SystemDS's buffer pool is LRU over unpinned blocks.
+    policy: EvictionPolicyName = EvictionPolicyName.LRU
     #: operation memory: ops estimated above this go to Spark (paper: 7 GB).
     operation_memory_bytes: int = 7 * GB // SCALE
     disk_bytes_per_s: float = 1 * GB
@@ -160,6 +197,9 @@ class CacheConfig:
     #: count() job materializes it (§4.1, default three).
     async_materialize_after_misses: int = 3
     policy: EvictionPolicyName = EvictionPolicyName.COST_SIZE
+    #: eviction order of the Spark tier of the lineage cache (the
+    #: ``SP_CACHE`` region); ``None`` inherits ``policy``.
+    spark_policy: EvictionPolicyName | None = None
     #: disable all eviction (the 40%INF setting of Fig. 11(b)).
     unlimited: bool = False
     #: spill evicted driver-cache entries to local disk instead of
@@ -216,6 +256,21 @@ class MemphisConfig:
     faults: object | None = None
     #: RNG seed for the framework's own randomized choices.
     seed: int = 42
+
+    def __post_init__(self) -> None:
+        # Ambient policy overrides reach configs the experiment drivers
+        # build internally, without threading a parameter through every
+        # classmethod constructor.
+        policy = _POLICY_OVERRIDES.get("policy")
+        if policy is not None:
+            self.cache.policy = policy
+        gpu_policy = _POLICY_OVERRIDES.get("gpu_policy")
+        if gpu_policy is not None:
+            self.gpu.policy = gpu_policy
+        spark_policy = _POLICY_OVERRIDES.get("spark_policy")
+        if spark_policy is not None:
+            self.cache.spark_policy = spark_policy
+            self.spark.policy = spark_policy
 
     @classmethod
     def base(cls, **kw) -> "MemphisConfig":

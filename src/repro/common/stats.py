@@ -129,6 +129,13 @@ CHECKPOINTS_PLACED = "compiler/checkpoints_placed"
 INSTRUCTIONS_EXECUTED = "runtime/instructions_executed"
 INSTRUCTIONS_SKIPPED = "runtime/instructions_skipped"
 BUFFERPOOL_EVICTIONS = "bufferpool/evictions"
+MEM_RESERVES = "memory/reserves"
+MEM_RESERVE_FAILURES = "memory/reserve_failures"
+MEM_EVICTIONS = "memory/evictions"
+MEM_SPILLS = "memory/spills"
+MEM_RESTORES = "memory/restores"
+MEM_PRESSURE_EVENTS = "memory/pressure_events"
+MEM_D2H_AVOIDED = "memory/d2h_transfers_avoided"
 FAULTS_INJECTED = "faults/injected"
 FAULTS_RECOVERED = "faults/recovered"
 FAULT_SPARK_TASK_RETRIES = "faults/spark_task_retries"

@@ -8,6 +8,13 @@ pointers (owned by the GPU unified memory manager, which calls back on
 recycling).  The cache implements the system-internal API of §3.1:
 ``probe/reuse``, ``put``, and ``make_space``, plus delayed caching
 (§5.2).
+
+Byte accounting and victim selection are delegated to the shared
+:class:`~repro.memory.arbiter.MemoryArbiter`: the driver tier is the
+``CP`` region, spilled binaries live in the ``DISK`` region, and the
+spill-vs-drop break-even (§3.3) is the arbiter's spill model.  The
+cache keeps only the physics — payload movement, simulated disk I/O
+time, and lineage bookkeeping.
 """
 
 from __future__ import annotations
@@ -23,16 +30,13 @@ from repro.common.stats import (
     CACHE_PUTS,
     CACHE_RESTORES,
     CACHE_SPILLS,
-    FAULT_RESTORE_IO_ERRORS,
-    FAULT_SPILL_IO_ERRORS,
     LINEAGE_PROBES,
     Stats,
 )
 from repro.core.entry import BACKEND_CP, BACKEND_GPU, BACKEND_SP, CacheEntry, EntryStatus
 from repro.core.policies import EvictionPolicy, make_policy
-from repro.faults.injector import NULL_INJECTOR
-from repro.faults.plan import KIND_RESTORE_IO, KIND_SPILL_IO
 from repro.lineage.item import LineageItem
+from repro.memory import REGION_CP, REGION_DISK, MemoryArbiter
 from repro.obs.events import (
     EV_CACHE_DELAY,
     EV_CACHE_EVICT,
@@ -62,18 +66,34 @@ class LineageCache:
                  clock=None,
                  disk_bytes_per_s: float = 1024**3,
                  flops_per_s: float = 1.5e12,
-                 tracer=None, faults=None) -> None:
+                 tracer=None, faults=None, arbiter=None) -> None:
         self.config = config
         self.stats = stats
         self.policy = policy or make_policy(config.policy)
         self.clock = clock
         self.tracer = tracer if tracer is not None else NULL_TRACER
-        self.faults = faults if faults is not None else NULL_INJECTOR
+        if arbiter is None:
+            arbiter = MemoryArbiter(stats, tracer=self.tracer, faults=faults)
+        self.arbiter: MemoryArbiter = arbiter
+        self.faults = faults if faults is not None else arbiter.faults
         self.disk_bytes_per_s = disk_bytes_per_s
         self.flops_per_s = flops_per_s
+        self._cp_region = arbiter.add_region(
+            REGION_CP, config.driver_cache_bytes,
+            policy=self.policy, unlimited=config.unlimited,
+        )
+        self._disk_region = arbiter.add_region(
+            REGION_DISK, config.disk_cache_bytes,
+        )
+        arbiter.configure_spill(
+            REGION_CP,
+            enabled=config.spill_to_disk and clock is not None,
+            disk_region=REGION_DISK,
+            bytes_per_s=disk_bytes_per_s,
+            flops_per_s=flops_per_s,
+        )
+        arbiter.register_residency(REGION_CP, self.has_host_copy_for)
         self._entries: dict[LineageItem, CacheEntry] = {}
-        self._cp_bytes = 0
-        self._disk_bytes = 0
         self._logical_time = 0
         #: GPU pointer id -> entry, for invalidation callbacks.
         self._gpu_index: dict[int, CacheEntry] = {}
@@ -90,7 +110,7 @@ class LineageCache:
     @property
     def cp_bytes(self) -> int:
         """Bytes held by driver-local (CP) payloads."""
-        return self._cp_bytes
+        return self._cp_region.used
 
     def entries(self) -> list[CacheEntry]:
         return list(self._entries.values())
@@ -146,8 +166,9 @@ class LineageCache:
 
         With delay factor *n* > 1, the first *n - 1* puts only create or
         bump an empty TO-BE-CACHED placeholder; the n-th put stores the
-        actual object (paper §5.2).  Returns the entry when the payload
-        was actually cached, else ``None``.
+        actual object (paper §5.2, implemented as the arbiter's region
+        admission policy).  Returns the entry when the payload was
+        actually cached, else ``None``.
         """
         self._logical_time += 1
         n = self.delay_factor if delay_factor is None else delay_factor
@@ -157,7 +178,7 @@ class LineageCache:
             self._entries[key] = entry
         entry.seen_count += 1
         entry.last_access = self._logical_time
-        if entry.seen_count < n:
+        if not self.arbiter.admit(REGION_CP, entry.seen_count, n):
             self.stats.inc(CACHE_DELAYED)
             if self.tracer.enabled:
                 self.tracer.instant(EV_CACHE_DELAY, opcode=key.opcode,
@@ -165,11 +186,14 @@ class LineageCache:
             return None
         if backend == BACKEND_CP:
             if entry.cp_accounted:  # re-put: release the old charge first
-                self._cp_bytes -= entry.cp_accounted
+                self.arbiter.release(REGION_CP, entry.cp_accounted)
                 entry.cp_accounted = 0
-            if not self._make_space_cp(size):
+            if not self.arbiter.reserve(
+                REGION_CP, size, candidates=self._cp_candidates,
+                evict=self.evict_cp, now=self._logical_time,
+            ):
                 return None
-            self._cp_bytes += size
+            self.arbiter.commit(REGION_CP, size)
             entry.cp_accounted = size
         entry.put_payload(backend, payload, size, compute_cost)
         if backend == BACKEND_GPU:
@@ -194,27 +218,20 @@ class LineageCache:
     # -- eviction -----------------------------------------------------------------
 
     def _make_space_cp(self, size: int) -> bool:
-        if self.config.unlimited:
-            return True
-        budget = self.config.driver_cache_bytes
-        if size > budget:
-            return False
-        while self._cp_bytes + size > budget:
-            victim = self._cp_victim()
-            if victim is None:
-                return False
-            self.evict_cp(victim)
-        return True
+        return self.arbiter.ensure_space(
+            REGION_CP, size, candidates=self._cp_candidates,
+            evict=self.evict_cp, now=self._logical_time,
+        )
 
-    def _cp_victim(self) -> Optional[CacheEntry]:
-        candidates = [
+    def _cp_candidates(self) -> list[CacheEntry]:
+        return [
             e for e in self._entries.values()
             if BACKEND_CP in e.payloads and e.is_cached
         ]
-        if not candidates:
-            return None
-        return min(
-            candidates, key=lambda e: self.policy.score(e, self._logical_time)
+
+    def _cp_victim(self) -> Optional[CacheEntry]:
+        return self.arbiter.select_victim(
+            REGION_CP, self._cp_candidates(), now=self._logical_time
         )
 
     def evict_cp(self, entry: CacheEntry) -> None:
@@ -222,21 +239,27 @@ class LineageCache:
 
         High compute-cost entries are spilled to local disk (restorable
         by a later probe); cheap-to-recompute ones are dropped outright.
+        The spill-vs-drop break-even is the arbiter's decision
+        (:meth:`~repro.memory.arbiter.MemoryArbiter.should_spill`).
         """
         payload = entry.payloads.get(BACKEND_CP)
         if payload is None:
             return
         if self.on_cp_evict is not None:
             self.on_cp_evict(entry)
-        self._cp_bytes -= entry.cp_accounted
+        self.arbiter.release(REGION_CP, entry.cp_accounted)
         entry.cp_accounted = 0
-        if self._should_spill(entry) and not self._spill_faulted(entry):
+        if self.arbiter.should_spill(REGION_CP, entry.size,
+                                     entry.compute_cost) \
+                and not self._spill_faulted(entry):
             self.clock.advance(entry.size / self.disk_bytes_per_s)
             entry.payloads[BACKEND_DISK] = payload
             entry.payloads.pop(BACKEND_CP, None)
             entry.status = EntryStatus.SPILLED
-            self._disk_bytes += entry.size
+            self.arbiter.acquire(REGION_DISK, entry.size)
             self.stats.inc(CACHE_SPILLS)
+            self.arbiter.record_spill(REGION_CP, entry.size,
+                                      key=entry.key.id)
             if self.tracer.enabled:
                 self.tracer.instant(EV_CACHE_SPILL, size=entry.size,
                                     opcode=entry.key.opcode,
@@ -244,6 +267,7 @@ class LineageCache:
         else:
             entry.drop_payload(BACKEND_CP)
         self.stats.inc(CACHE_EVICTIONS)
+        self.arbiter.record_evict(REGION_CP, entry.size, key=entry.key.id)
         if self.tracer.enabled:
             self.tracer.instant(EV_CACHE_EVICT, backend=BACKEND_CP,
                                 size=entry.size, opcode=entry.key.opcode,
@@ -251,13 +275,8 @@ class LineageCache:
 
     def _should_spill(self, entry: CacheEntry) -> bool:
         """Spill only when recomputation costs more than a disk round trip."""
-        if not self.config.spill_to_disk or self.clock is None:
-            return False
-        if self._disk_bytes + entry.size > self.config.disk_cache_bytes:
-            return False
-        recompute_time = entry.compute_cost / self.flops_per_s
-        roundtrip_time = 2.0 * entry.size / self.disk_bytes_per_s
-        return recompute_time > roundtrip_time
+        return self.arbiter.should_spill(REGION_CP, entry.size,
+                                         entry.compute_cost)
 
     def _spill_faulted(self, entry: CacheEntry) -> bool:
         """Injected spill-I/O error: the write fails, the payload is lost.
@@ -265,39 +284,41 @@ class LineageCache:
         The entry degrades to a plain eviction (recoverable through
         lineage recomputation), never a silently corrupt disk copy.
         """
-        if not (self.faults.enabled and self.faults.spill_io()):
-            return False
-        self.stats.inc(FAULT_SPILL_IO_ERRORS)
-        self.faults.injected(KIND_SPILL_IO, key=entry.key.id,
-                             opcode=entry.key.opcode, nbytes=entry.size)
-        return True
+        return self.arbiter.spill_fault(key=entry.key.id,
+                                        opcode=entry.key.opcode,
+                                        nbytes=entry.size)
 
     def _restore_from_disk(self, entry: CacheEntry) -> bool:
         """Read a spilled payload back into the driver cache."""
         payload = entry.payloads.get(BACKEND_DISK)
         if payload is None:
             return False
-        if not self._make_space_cp(entry.size):
+        if not self.arbiter.reserve(
+            REGION_CP, entry.size, candidates=self._cp_candidates,
+            evict=self.evict_cp, now=self._logical_time,
+        ):
             return False
-        if self.faults.enabled and self.faults.restore_io():
+        if self.arbiter.restore_fault(key=entry.key.id,
+                                      opcode=entry.key.opcode,
+                                      nbytes=entry.size):
             # injected read error: the disk copy is unusable and dropped;
             # the caller falls back to lineage recomputation
-            self._disk_bytes -= entry.size
+            self.arbiter.cancel(REGION_CP, entry.size)
+            self.arbiter.release(REGION_DISK, entry.size)
             entry.drop_payload(BACKEND_DISK)
             if entry.payloads:
                 entry.status = EntryStatus.CACHED
-            self.stats.inc(FAULT_RESTORE_IO_ERRORS)
-            self.faults.injected(KIND_RESTORE_IO, key=entry.key.id,
-                                 opcode=entry.key.opcode, nbytes=entry.size)
             return False
         self.clock.advance(entry.size / self.disk_bytes_per_s)
         entry.payloads[BACKEND_CP] = payload
         entry.payloads.pop(BACKEND_DISK, None)
         entry.status = EntryStatus.CACHED
-        self._disk_bytes -= entry.size
-        self._cp_bytes += entry.size
+        self.arbiter.release(REGION_DISK, entry.size)
+        self.arbiter.commit(REGION_CP, entry.size)
         entry.cp_accounted = entry.size
         self.stats.inc(CACHE_RESTORES)
+        self.arbiter.record_restore(REGION_CP, entry.size,
+                                    key=entry.key.id)
         if self.tracer.enabled:
             self.tracer.instant(EV_CACHE_RESTORE, size=entry.size,
                                 opcode=entry.key.opcode, key=entry.key.id)
@@ -306,7 +327,7 @@ class LineageCache:
     @property
     def disk_bytes(self) -> int:
         """Bytes held by spilled (disk-resident) entries."""
-        return self._disk_bytes
+        return self._disk_region.used
 
     def drop_backend_payload(self, entry: CacheEntry, backend: str) -> None:
         """Remove one backend copy (e.g. after unpersist), keep others."""
@@ -332,12 +353,12 @@ class LineageCache:
         """
         dropped: list[str] = []
         if BACKEND_CP in entry.payloads:
-            self._cp_bytes -= entry.cp_accounted
+            self.arbiter.release(REGION_CP, entry.cp_accounted)
             entry.cp_accounted = 0
             entry.drop_payload(BACKEND_CP)
             dropped.append(BACKEND_CP)
         if BACKEND_DISK in entry.payloads:
-            self._disk_bytes -= entry.size
+            self.arbiter.release(REGION_DISK, entry.size)
             entry.drop_payload(BACKEND_DISK)
             dropped.append(BACKEND_DISK)
         if BACKEND_SP in entry.payloads:
@@ -366,6 +387,22 @@ class LineageCache:
 
     # -- GPU integration ---------------------------------------------------------
 
+    def has_host_copy_for(self, ptr) -> bool:
+        """Residency probe: does the entry backed by GPU pointer ``ptr``
+        also hold a host-side (driver or disk) copy?
+
+        Registered with the arbiter as the ``CP`` region's residency
+        probe, so the GPU memory manager can skip a D2H save when the
+        value already survives on the host (holistic eviction).
+        """
+        ptr_id = getattr(ptr, "id", None)
+        if ptr_id is None:
+            return False
+        entry = self._gpu_index.get(ptr_id)
+        if entry is None:
+            return False
+        return BACKEND_CP in entry.payloads or BACKEND_DISK in entry.payloads
+
     def on_gpu_invalidate(self, ptr) -> None:
         """Callback from the GPU memory manager before a pointer is
         recycled/freed: the entry backed by it loses its GPU payload."""
@@ -385,13 +422,13 @@ class LineageCache:
     def remove(self, key: LineageItem) -> None:
         entry = self._entries.pop(key, None)
         if entry is not None:
-            self._cp_bytes -= entry.cp_accounted
+            self.arbiter.release(REGION_CP, entry.cp_accounted)
             entry.cp_accounted = 0
 
     def clear(self) -> None:
         self._entries.clear()
         self._gpu_index.clear()
-        self._cp_bytes = 0
+        self._cp_region.reset()
 
     def cached_count(self, backend: Optional[str] = None) -> int:
         """Number of CACHED entries, optionally restricted to a backend."""

@@ -67,6 +67,7 @@ from repro.core.spark_cache import SparkCacheManager
 from repro.faults.injector import NULL_INJECTOR, FaultInjector
 from repro.faults.plan import current_plan
 from repro.lineage.item import LineageItem, function_item, literal
+from repro.memory import MemoryArbiter
 from repro.lineage.recompute import hops_from_item
 from repro.lineage.serialize import deserialize, serialize
 from repro.obs.tracer import NULL_TRACER, TraceCollector, current_collector
@@ -108,16 +109,23 @@ class Session:
             FaultInjector(plan, self.clock, self.stats, tracer=self.tracer)
             if plan is not None else NULL_INJECTOR
         )
+        # unified memory-arbitration substrate (repro.memory): one
+        # arbiter coordinates the byte ledgers and victim selection of
+        # all four managers (driver cache, buffer pool, Spark storage,
+        # GPU) and hosts the cross-region residency/pressure hooks.
+        self.arbiter = MemoryArbiter(
+            self.stats, tracer=self.tracer, faults=self.faults
+        )
         self.cache = LineageCache(
             self.config.cache, self.stats, clock=self.clock,
             disk_bytes_per_s=self.config.cpu.disk_bytes_per_s,
             flops_per_s=self.config.cpu.flops_per_s,
-            tracer=self.tracer, faults=self.faults,
+            tracer=self.tracer, faults=self.faults, arbiter=self.arbiter,
         )
         self.cpu = CpuBackend(self.config.cpu, self.clock, self.stats)
         self.spark_context = SparkContext(
             self.config.spark, self.clock, self.stats, tracer=self.tracer,
-            faults=self.faults,
+            faults=self.faults, arbiter=self.arbiter,
         )
         self.spark = SparkBackend(self.spark_context)
         self.spark_mgr = SparkCacheManager(
@@ -126,6 +134,7 @@ class Session:
         self.gpu = GpuBackend(
             self.config.gpu, self.clock, self.stats,
             mode=self._gpu_mode(), tracer=self.tracer, faults=self.faults,
+            arbiter=self.arbiter,
         )
         self.gpu.memory.on_invalidate = self.cache.on_gpu_invalidate
         self.interpreter = Interpreter(self)

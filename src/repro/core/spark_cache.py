@@ -35,6 +35,8 @@ from repro.common.stats import (
 )
 from repro.core.cache import LineageCache
 from repro.core.entry import BACKEND_SP, CacheEntry
+from repro.core.policies import make_policy
+from repro.memory import REGION_SPARK_CACHE
 
 
 class SparkCacheManager:
@@ -46,7 +48,14 @@ class SparkCacheManager:
         self.sc = context
         self.config = config
         self.stats = stats
-        self._sp_bytes = 0
+        self.arbiter = cache.arbiter
+        policy = cache.policy if config.spark_policy is None \
+            else make_policy(config.spark_policy)
+        self._region = self.arbiter.add_region(
+            REGION_SPARK_CACHE,
+            int(context.block_manager.capacity * config.spark_cache_fraction),
+            policy=policy, unlimited=config.unlimited,
+        )
         #: entry -> reuse-miss count while unmaterialized (async trigger).
         self._unmat_misses: dict[int, int] = {}
         self._pending_counts: list[SimFuture] = []
@@ -62,19 +71,22 @@ class SparkCacheManager:
     @property
     def sp_bytes(self) -> int:
         """Estimated bytes of persisted, cache-managed RDDs."""
-        return self._sp_bytes
+        return self._region.used
 
     # -- caching ---------------------------------------------------------------
 
     def cache_rdd(self, entry: CacheEntry, dm: DistributedMatrix) -> bool:
         """Mark ``dm`` for distributed caching under ``entry`` (persist)."""
         size = dm.nbytes
-        if not self.make_space(size):
+        if not self.arbiter.reserve(
+            REGION_SPARK_CACHE, size, candidates=self._candidates,
+            evict=self.evict, now=0.0,
+        ):
             return False
         dm.rdd.persist(self.storage_level)
         entry.put_payload(BACKEND_SP, dm, size, entry.compute_cost)
         entry.rdd_materialized = False
-        self._sp_bytes += size
+        self.arbiter.commit(REGION_SPARK_CACHE, size)
         self.stats.inc(SPARK_RDD_PERSISTED)
         return True
 
@@ -99,16 +111,10 @@ class SparkCacheManager:
 
     def make_space(self, size: int) -> bool:
         """Evict cached RDDs (Eq. 1 order) until ``size`` bytes fit."""
-        if self.cache.config.unlimited:
-            return True
-        if size > self.budget:
-            return False
-        while self._sp_bytes + size > self.budget:
-            victim = self._victim()
-            if victim is None:
-                return False
-            self.evict(victim)
-        return True
+        return self.arbiter.ensure_space(
+            REGION_SPARK_CACHE, size, candidates=self._candidates,
+            evict=self.evict, now=0.0,
+        )
 
     def evict(self, entry: CacheEntry) -> None:
         """Unpersist the RDD of ``entry`` and drop its SP payload."""
@@ -116,20 +122,22 @@ class SparkCacheManager:
         if dm is None:
             return
         dm.rdd.unpersist()
-        self._sp_bytes -= entry.size if entry.size else dm.nbytes
+        freed = entry.size if entry.size else dm.nbytes
+        self.arbiter.release(REGION_SPARK_CACHE, freed)
+        self.arbiter.record_evict(REGION_SPARK_CACHE, freed,
+                                  rdd=dm.rdd.id)
         self.cache.drop_backend_payload(entry, BACKEND_SP)
         self.stats.inc(SPARK_RDD_UNPERSISTED)
 
-    def _victim(self) -> Optional[CacheEntry]:
-        candidates = [
+    def _candidates(self) -> list[CacheEntry]:
+        return [
             e for e in self.cache.entries()
             if e.is_cached and BACKEND_SP in e.payloads
         ]
-        if not candidates:
-            return None
-        return min(
-            candidates,
-            key=lambda e: self.cache.policy.score(e, 0.0),
+
+    def _victim(self) -> Optional[CacheEntry]:
+        return self.arbiter.select_victim(
+            REGION_SPARK_CACHE, self._candidates(), now=0.0
         )
 
     # -- lazy GC and async materialization -------------------------------------------

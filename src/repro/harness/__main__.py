@@ -15,6 +15,11 @@ import argparse
 import sys
 import time
 
+from repro.common.config import (
+    EvictionPolicyName,
+    clear_policy_overrides,
+    install_policy_overrides,
+)
 from repro.harness import runner
 
 EXPERIMENTS = {
@@ -61,6 +66,17 @@ def main(argv: list[str] | None = None) -> int:
                         help="run the static IR verifier (repro.analysis) "
                              "over every compiled block; print the merged "
                              "report and exit 1 on error-severity findings")
+    policy_names = [p.value for p in EvictionPolicyName]
+    parser.add_argument("--policy", choices=policy_names, default=None,
+                        help="eviction policy of the driver lineage cache "
+                             "(CP region; default cost_size, paper Eq. 1)")
+    parser.add_argument("--gpu-policy", choices=policy_names, default=None,
+                        help="eviction policy of the GPU free lists "
+                             "(GPU region; default cost_size, paper Eq. 2)")
+    parser.add_argument("--spark-policy", choices=policy_names, default=None,
+                        help="eviction policy of the Spark storage and "
+                             "cache tiers (SP_BLOCKS/SP_CACHE regions; "
+                             "defaults: LRU / inherit --policy)")
     args = parser.parse_args(argv)
 
     if args.list:
@@ -97,6 +113,19 @@ def main(argv: list[str] | None = None) -> int:
         print(f"[faults: injecting {len(fault_plan.specs)} fault spec(s), "
               f"seed {fault_plan.seed}]")
 
+    if args.policy or args.gpu_policy or args.spark_policy:
+        install_policy_overrides(
+            policy=EvictionPolicyName(args.policy) if args.policy else None,
+            gpu_policy=(EvictionPolicyName(args.gpu_policy)
+                        if args.gpu_policy else None),
+            spark_policy=(EvictionPolicyName(args.spark_policy)
+                          if args.spark_policy else None),
+        )
+        chosen = {k: v for k, v in (("policy", args.policy),
+                                    ("gpu", args.gpu_policy),
+                                    ("spark", args.spark_policy)) if v}
+        print(f"[memory: eviction policy overrides {chosen}]")
+
     try:
         for name in selected:
             start = time.time()
@@ -104,6 +133,7 @@ def main(argv: list[str] | None = None) -> int:
             print(result.table)
             print(f"[{name}: regenerated in {time.time() - start:.1f}s wall]\n")
     finally:
+        clear_policy_overrides()
         if fault_plan is not None:
             from repro.faults import uninstall_plan
 

@@ -1,0 +1,42 @@
+"""Unified memory-arbitration substrate (paper pillar 2, §3.3/§4.2/§5.2).
+
+One coordinated hierarchy instead of four silos: the driver lineage
+cache, the CPU buffer pool, the Spark block manager / RDD cache tier,
+and the GPU unified memory manager all route *reservations* (the
+reserve/commit/release byte protocol) and *victim selection* (the
+``core/policies.py`` scoring registry) through a shared
+:class:`MemoryArbiter` over per-backend :class:`MemoryRegion` ledgers,
+while keeping their backend-specific physics (disk spilling, shuffle
+partition granularity, free-list recycling, pinning) local.
+
+The arbiter is also the coordination point for the paper's *holistic*
+behaviours: cross-region residency consultation (GPU eviction checks
+driver-cache residency before paying a device-to-host transfer),
+cross-region pressure callbacks, the spill-vs-drop cost decision, and
+delayed caching as an admission policy (§5.2).
+"""
+
+from repro.memory.arbiter import MemoryArbiter
+from repro.memory.protocols import Evictable, Spillable
+from repro.memory.region import MemoryRegion
+
+#: canonical region names registered by the four memory managers.
+REGION_CP = "CP"  #: driver-local lineage-cache payloads.
+REGION_DISK = "DISK"  #: disk-evicted driver-cache binaries (§3.3).
+REGION_BUFFERPOOL = "CPU_BP"  #: CPU buffer-pool matrix blocks.
+REGION_SPARK_STORAGE = "SP_BLOCKS"  #: aggregate executor storage memory.
+REGION_SPARK_CACHE = "SP_CACHE"  #: reuse share of Spark storage (§4.1).
+REGION_GPU = "GPU"  #: device memory under the unified GPU manager.
+
+__all__ = [
+    "MemoryArbiter",
+    "MemoryRegion",
+    "Evictable",
+    "Spillable",
+    "REGION_CP",
+    "REGION_DISK",
+    "REGION_BUFFERPOOL",
+    "REGION_SPARK_STORAGE",
+    "REGION_SPARK_CACHE",
+    "REGION_GPU",
+]

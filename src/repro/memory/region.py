@@ -1,0 +1,145 @@
+"""Per-backend memory regions: capacity + byte ledgers + watermarks.
+
+A :class:`MemoryRegion` is the accounting half of the arbitration
+substrate: reserved/used/pinned byte ledgers under one capacity, with
+the invariant ``used + reserved + free == capacity`` (``free`` clamps
+at zero for unlimited regions, which may legally overcommit).  The
+decision half — victim selection, spill-vs-drop, admission, pressure —
+lives in :class:`~repro.memory.arbiter.MemoryArbiter`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.policies import EvictionPolicy
+
+
+class MemoryRegion:
+    """One backend's byte ledger under the shared arbiter.
+
+    The reservation protocol is two-phase: :meth:`reserve` holds bytes
+    (space is guaranteed but not yet owned), then :meth:`commit` turns
+    the hold into usage or :meth:`cancel` drops it.  :meth:`release`
+    returns used bytes (eviction, unpersist, free).  :meth:`acquire`
+    is the one-shot reserve+commit used when the caller has already
+    ensured space (e.g. mirroring a device allocator's own ledger).
+    """
+
+    __slots__ = (
+        "name", "capacity", "unlimited", "policy", "watermark",
+        "used", "reserved", "pinned", "peak_used",
+    )
+
+    def __init__(self, name: str, capacity: int,
+                 policy: Optional[EvictionPolicy] = None,
+                 unlimited: bool = False,
+                 watermark: float = 0.9) -> None:
+        self.name = name
+        self.capacity = int(capacity)
+        self.unlimited = unlimited
+        #: region-local eviction policy (``core/policies.py`` registry);
+        #: the single source of victim order for this region.
+        self.policy = policy
+        #: occupancy fraction above which the arbiter reports pressure.
+        self.watermark = watermark
+        self.used = 0
+        self.reserved = 0
+        self.pinned = 0
+        self.peak_used = 0
+
+    # -- queries ------------------------------------------------------------
+
+    @property
+    def free(self) -> int:
+        """Unclaimed bytes; ``used + reserved + free == capacity``."""
+        return max(self.capacity - self.used - self.reserved, 0)
+
+    @property
+    def occupancy(self) -> float:
+        """Claimed fraction of capacity (may exceed 1.0 if unlimited)."""
+        if self.capacity <= 0:
+            return 0.0
+        return (self.used + self.reserved) / self.capacity
+
+    @property
+    def over_watermark(self) -> bool:
+        return not self.unlimited and self.occupancy >= self.watermark
+
+    def fits(self, size: int) -> bool:
+        """Whether ``size`` more bytes fit without any eviction."""
+        return self.unlimited or \
+            self.used + self.reserved + size <= self.capacity
+
+    # -- ledger transitions -------------------------------------------------
+
+    def reserve(self, size: int) -> None:
+        self.reserved += size
+
+    def commit(self, size: int) -> None:
+        """Turn ``size`` reserved bytes into used bytes."""
+        self.reserved -= size
+        self.used += size
+        if self.used > self.peak_used:
+            self.peak_used = self.used
+
+    def cancel(self, size: int) -> None:
+        """Drop a reservation without using it."""
+        self.reserved -= size
+
+    def acquire(self, size: int) -> None:
+        """One-shot reserve+commit (caller already ensured space)."""
+        self.used += size
+        if self.used > self.peak_used:
+            self.peak_used = self.used
+
+    def release(self, size: int) -> None:
+        """Return ``size`` used bytes to the region."""
+        self.used -= size
+
+    def pin(self, size: int) -> None:
+        """Mark ``size`` used bytes unevictable (in use by an operator)."""
+        self.pinned += size
+
+    def unpin(self, size: int) -> None:
+        self.pinned -= size
+
+    def reset(self) -> None:
+        """Drop all ledgers (cache clear); capacity/policy survive."""
+        self.used = 0
+        self.reserved = 0
+        self.pinned = 0
+
+    def check(self) -> None:
+        """Assert the ledger invariants (used by the property tests)."""
+        assert self.used >= 0, f"{self.name}: negative used ({self.used})"
+        assert self.reserved >= 0, \
+            f"{self.name}: negative reserved ({self.reserved})"
+        assert self.pinned >= 0, \
+            f"{self.name}: negative pinned ({self.pinned})"
+        assert self.used + self.reserved + self.free == self.capacity or \
+            self.unlimited or self.used + self.reserved > self.capacity, \
+            f"{self.name}: ledger does not tile capacity"
+        if not self.unlimited:
+            assert self.used + self.reserved <= self.capacity, (
+                f"{self.name}: overcommitted "
+                f"({self.used}+{self.reserved} > {self.capacity})"
+            )
+
+    def snapshot(self) -> dict:
+        """Accounting snapshot for diagnostics and ``obs`` summaries."""
+        return {
+            "region": self.name,
+            "capacity": self.capacity,
+            "used": self.used,
+            "reserved": self.reserved,
+            "pinned": self.pinned,
+            "free": self.free,
+            "peak_used": self.peak_used,
+            "unlimited": self.unlimited,
+            "policy": getattr(self.policy, "name", None),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"MemoryRegion({self.name}, {self.used}+{self.reserved}r"
+                f"/{self.capacity}, pinned={self.pinned})")

@@ -88,6 +88,19 @@ EV_GPU_REUSE = "gpu/reuse"
 EV_GPU_EVICT_D2H = "gpu/evict_to_host"
 EV_GPU_DEFRAG = "gpu/defrag"
 
+#: instant — a region reservation failed (``repro.memory``; args:
+#: region, nbytes, ok).
+EV_MEM_RESERVE = "memory/reserve"
+#: instant — the arbiter drove one eviction in a region (args: region,
+#: nbytes, plus backend-specific detail).
+EV_MEM_EVICT = "memory/evict"
+#: instant — a payload moved to a slower tier under arbiter control.
+EV_MEM_SPILL = "memory/spill"
+#: instant — a payload was restored from a slower tier.
+EV_MEM_RESTORE = "memory/restore"
+#: instant — cross-region pressure callbacks fired for a region.
+EV_MEM_PRESSURE = "memory/pressure"
+
 #: span — one federated request round-trip (submit -> last response).
 EV_FED_REQUEST = "fed/request"
 

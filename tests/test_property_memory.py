@@ -16,11 +16,20 @@ from repro.backends.gpu import (
     GpuStream,
     MODE_MEMPHIS,
 )
+from repro.backends.cpu.bufferpool import BufferPool
 from repro.backends.spark import BlockManager
-from repro.common.config import GpuConfig, SparkConfig, StorageLevel
-from repro.common.errors import GpuOutOfMemoryError
+from repro.common.config import (
+    CpuConfig,
+    EvictionPolicyName,
+    GpuConfig,
+    SparkConfig,
+    StorageLevel,
+)
+from repro.common.errors import BufferPoolError, GpuOutOfMemoryError
 from repro.common.simclock import SimClock
 from repro.common.stats import Stats
+from repro.memory import MemoryArbiter
+from repro.runtime.values import MatrixValue
 
 
 class GpuAllocatorMachine(RuleBasedStateMachine):
@@ -148,4 +157,209 @@ class BlockManagerMachine(RuleBasedStateMachine):
 TestBlockManagerStateful = BlockManagerMachine.TestCase
 TestBlockManagerStateful.settings = settings(
     max_examples=25, stateful_step_count=30, deadline=None
+)
+
+
+class _Chunk:
+    """Model of one committed allocation in the ledger machine."""
+
+    __slots__ = ("size", "last_access", "pinned")
+
+    def __init__(self, size, last_access):
+        self.size = size
+        self.last_access = last_access
+        self.pinned = False
+
+
+class RegionLedgerMachine(RuleBasedStateMachine):
+    """Random reserve/commit/cancel/acquire/release/pin/unpin sequences
+    through the arbiter preserve the region ledger invariants:
+
+    * ``used + reserved + free == capacity`` (``MemoryRegion.check``);
+    * used/reserved/pinned exactly match the model's outstanding chunks;
+    * policy-driven eviction never selects a pinned chunk.
+    """
+
+    CAPACITY = 10_000
+
+    def __init__(self):
+        super().__init__()
+        self.arb = MemoryArbiter(Stats())
+        self.region = self.arb.add_region(
+            "R", self.CAPACITY, policy_name=EvictionPolicyName.LRU
+        )
+        self.chunks = []
+        self.holds = []
+        self.ticks = 0
+
+    @rule(size=st.integers(min_value=1, max_value=3000))
+    def reserve(self, size):
+        ok = self.arb.reserve("R", size)
+        if ok:
+            self.holds.append(size)
+        else:
+            used = self.region.used + self.region.reserved
+            assert used + size > self.CAPACITY
+
+    @precondition(lambda self: self.holds)
+    @rule(data=st.data())
+    def commit(self, data):
+        size = self.holds.pop(data.draw(st.integers(0, len(self.holds) - 1)))
+        self.arb.commit("R", size)
+        self.ticks += 1
+        self.chunks.append(_Chunk(size, self.ticks))
+
+    @precondition(lambda self: self.holds)
+    @rule(data=st.data())
+    def cancel(self, data):
+        size = self.holds.pop(data.draw(st.integers(0, len(self.holds) - 1)))
+        self.arb.cancel("R", size)
+
+    @rule(size=st.integers(min_value=1, max_value=3000))
+    def acquire(self, size):
+        if not self.region.fits(size):
+            return
+        self.arb.acquire("R", size)
+        self.ticks += 1
+        self.chunks.append(_Chunk(size, self.ticks))
+
+    @precondition(lambda self: any(not c.pinned for c in self.chunks))
+    @rule(data=st.data())
+    def release(self, data):
+        unpinned = [c for c in self.chunks if not c.pinned]
+        chunk = unpinned[data.draw(st.integers(0, len(unpinned) - 1))]
+        self.chunks.remove(chunk)
+        self.arb.release("R", chunk.size)
+
+    @precondition(lambda self: any(not c.pinned for c in self.chunks))
+    @rule(data=st.data())
+    def pin(self, data):
+        unpinned = [c for c in self.chunks if not c.pinned]
+        chunk = unpinned[data.draw(st.integers(0, len(unpinned) - 1))]
+        chunk.pinned = True
+        self.arb.pin("R", chunk.size)
+
+    @precondition(lambda self: any(c.pinned for c in self.chunks))
+    @rule(data=st.data())
+    def unpin(self, data):
+        pinned = [c for c in self.chunks if c.pinned]
+        chunk = pinned[data.draw(st.integers(0, len(pinned) - 1))]
+        chunk.pinned = False
+        self.arb.unpin("R", chunk.size)
+
+    @rule(size=st.integers(min_value=1, max_value=3000))
+    def make_space_by_eviction(self, size):
+        """ensure_space with the unpinned chunks as eviction candidates."""
+
+        def evict(victim):
+            assert not victim.pinned, "policy evicted a pinned chunk"
+            self.chunks.remove(victim)
+            self.arb.release("R", victim.size)
+
+        candidates = lambda: [c for c in self.chunks if not c.pinned]
+        ok = self.arb.ensure_space("R", size, candidates=candidates,
+                                   evict=evict, now=self.ticks)
+        if not ok:
+            immovable = self.region.used + self.region.reserved \
+                - sum(c.size for c in self.chunks if not c.pinned)
+            assert size > self.CAPACITY or immovable + size > self.CAPACITY
+
+    @invariant()
+    def ledger_invariants_hold(self):
+        self.region.check()
+
+    @invariant()
+    def ledgers_match_model(self):
+        assert self.region.used == sum(c.size for c in self.chunks)
+        assert self.region.reserved == sum(self.holds)
+        assert self.region.pinned == sum(
+            c.size for c in self.chunks if c.pinned
+        )
+
+    @invariant()
+    def free_tiles_capacity(self):
+        assert self.region.free == max(
+            self.CAPACITY - self.region.used - self.region.reserved, 0
+        )
+
+
+TestRegionLedgerStateful = RegionLedgerMachine.TestCase
+TestRegionLedgerStateful.settings = settings(
+    max_examples=40, stateful_step_count=50, deadline=None
+)
+
+
+class BufferPoolMachine(RuleBasedStateMachine):
+    """Random put/get/pin/unpin/remove sequences on the buffer pool keep
+    the ``CPU_BP`` region exact and never spill a pinned block."""
+
+    def __init__(self):
+        super().__init__()
+        cfg = CpuConfig(buffer_pool_bytes=50_000)
+        self.pool = BufferPool(cfg, SimClock(), Stats())
+        self.next_id = 1
+        self.ids = []
+
+    @rule(rows=st.integers(min_value=1, max_value=800))
+    def put(self, rows):
+        block_id = self.next_id
+        self.next_id += 1
+        try:
+            self.pool.put(block_id, MatrixValue(np.ones((rows, 4))))
+        except BufferPoolError:
+            return  # everything pinned: a legal rejection
+        self.ids.append(block_id)
+
+    @precondition(lambda self: self.ids)
+    @rule(data=st.data())
+    def get(self, data):
+        block_id = self.ids[data.draw(st.integers(0, len(self.ids) - 1))]
+        try:
+            self.pool.get(block_id)
+        except BufferPoolError:
+            pass  # restore blocked by pinned residents
+
+    @precondition(lambda self: self.ids)
+    @rule(data=st.data())
+    def pin(self, data):
+        block_id = self.ids[data.draw(st.integers(0, len(self.ids) - 1))]
+        try:
+            self.pool.pin(block_id)
+        except BufferPoolError:
+            pass
+
+    @precondition(lambda self: self.ids)
+    @rule(data=st.data())
+    def unpin(self, data):
+        block_id = self.ids[data.draw(st.integers(0, len(self.ids) - 1))]
+        self.pool.unpin(block_id)
+
+    @precondition(lambda self: self.ids)
+    @rule(data=st.data())
+    def remove(self, data):
+        idx = data.draw(st.integers(0, len(self.ids) - 1))
+        self.pool.remove(self.ids.pop(idx))
+
+    @invariant()
+    def never_over_capacity(self):
+        assert self.pool.in_memory_bytes <= self.pool.capacity
+
+    @invariant()
+    def region_matches_blocks(self):
+        resident = sum(
+            b.nbytes for b in self.pool._blocks.values() if not b.on_disk
+        )
+        assert self.pool.in_memory_bytes == resident
+        self.pool._region.check()
+
+    @invariant()
+    def pinned_blocks_stay_resident(self):
+        for block in self.pool._blocks.values():
+            if block.pinned:
+                assert not block.on_disk
+
+
+TestBufferPoolStateful = BufferPoolMachine.TestCase
+TestBufferPoolStateful.settings = settings(
+    max_examples=30, stateful_step_count=40, deadline=None
 )
