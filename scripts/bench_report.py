@@ -1,0 +1,119 @@
+#!/usr/bin/env python
+"""Benchmark telemetry pipeline: run experiments, emit BENCH_<n>.json.
+
+Runs harness experiments under an ambient metrics collector and writes
+one schema-validated record per experiment (simulated time, wall-clock,
+key counters, metric-series digests).  CI runs the fast subset and
+gates on the schema; the full run regenerates the committed report.
+
+Usage::
+
+    python scripts/bench_report.py                  # all experiments
+    python scripts/bench_report.py --fast           # CI subset
+    python scripts/bench_report.py fig11a fig2c     # selected
+    python scripts/bench_report.py --validate BENCH_5.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO, "src"))
+
+from repro.harness.__main__ import EXPERIMENTS  # noqa: E402
+from repro.harness.telemetry import (  # noqa: E402
+    build_bench_report,
+    experiment_record,
+    validate_bench_report,
+)
+from repro.obs import MetricsCollector, disable_metrics, enable_metrics  # noqa: E402
+
+#: the issue number this report belongs to (BENCH_<ISSUE>.json).
+ISSUE = 5
+
+#: quick experiments CI can afford on every push.
+FAST_SUBSET = ("fig2c", "fig2d", "fig11a", "fig12b")
+
+
+def run_experiments(names: list[str]) -> list[dict]:
+    """Run each experiment under its own metrics collector."""
+    records = []
+    for name in names:
+        collector = MetricsCollector()
+        enable_metrics(collector)
+        start = time.time()
+        try:
+            result = EXPERIMENTS[name]()
+        finally:
+            disable_metrics()
+        wall = time.time() - start
+        record = experiment_record(name, result, wall, collector)
+        records.append(record)
+        print(f"[{name}: sim {record['sim_time_s']:.3f}s, "
+              f"wall {wall:.1f}s, {record['workloads']} workload(s), "
+              f"{len(record['metric_series'])} metric series]")
+    return records
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python scripts/bench_report.py",
+        description="Run harness experiments and emit a schema-validated "
+                    "benchmark telemetry report.",
+    )
+    parser.add_argument("experiments", nargs="*",
+                        help="experiment names (default: all)")
+    parser.add_argument("--fast", action="store_true",
+                        help=f"run the CI subset only: {', '.join(FAST_SUBSET)}")
+    parser.add_argument("--out", metavar="PATH", default=None,
+                        help=f"output path (default: BENCH_{ISSUE}.json "
+                             f"in the repo root)")
+    parser.add_argument("--validate", metavar="PATH", default=None,
+                        help="validate an existing report and exit")
+    args = parser.parse_args(argv)
+
+    if args.validate is not None:
+        with open(args.validate, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+        problems = validate_bench_report(doc)
+        if problems:
+            for p in problems:
+                print(f"  schema: {p}")
+            print(f"FAIL: {len(problems)} problem(s) in {args.validate}")
+            return 1
+        print(f"OK: {args.validate} is a valid bench report "
+              f"({len(doc['experiments'])} experiment(s))")
+        return 0
+
+    if args.fast:
+        selected = list(FAST_SUBSET)
+    else:
+        selected = args.experiments or list(EXPERIMENTS)
+    unknown = [n for n in selected if n not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiments: {', '.join(unknown)}")
+
+    records = run_experiments(selected)
+    doc = build_bench_report(records, issue=ISSUE)
+    problems = validate_bench_report(doc)
+    if problems:
+        for p in problems:
+            print(f"  schema: {p}")
+        print("FAIL: generated report does not validate")
+        return 1
+
+    out = args.out or os.path.join(REPO, f"BENCH_{ISSUE}.json")
+    with open(out, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"[bench report: {len(records)} experiment(s) -> {out}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -68,6 +68,16 @@ class BufferPool:
     def capacity(self) -> int:
         return self._config.buffer_pool_bytes
 
+    def metrics_gauges(self) -> dict[str, float]:
+        """Gauge snapshot for the metrics sampler (``repro.obs.metrics``)."""
+        capacity = self.capacity
+        used = self.in_memory_bytes
+        return {
+            "bufferpool/resident_bytes": float(used),
+            "bufferpool/occupancy": used / capacity if capacity else 0.0,
+            "bufferpool/blocks": float(len(self._blocks)),
+        }
+
     def _touch(self, block: _Block) -> None:
         self._tick += 1
         block.last_access = self._tick

@@ -104,6 +104,15 @@ class GpuMemoryManager:
     def config(self) -> GpuConfig:
         return self.device.config
 
+    def metrics_gauges(self) -> dict[str, float]:
+        """Gauge snapshot for the metrics sampler (``repro.obs.metrics``)."""
+        capacity = self.device.capacity
+        return {
+            "gpu/residency": self._region.used / capacity if capacity else 0.0,
+            "gpu/free_pooled_bytes": float(self.free_bytes_pooled),
+            "gpu/live_pointers": float(len(self.live)),
+        }
+
     # -- public allocation API ---------------------------------------------------
 
     def allocate(self, size: int, shape: tuple[int, int] = (0, 0)) -> GpuPointer:

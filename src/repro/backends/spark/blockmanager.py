@@ -93,6 +93,26 @@ class BlockManager:
     def memory_used(self) -> int:
         return self._region.used
 
+    def metrics_gauges(self) -> dict[str, float]:
+        """Gauge snapshot for the metrics sampler (``repro.obs.metrics``).
+
+        ``spark/storage_vs_exec_frac`` is the share of the *unified*
+        region (storage + execution) currently holding cached storage —
+        the curve that shows storage squeezing execution memory.
+        """
+        config = self._config
+        unified = (
+            (config.storage_memory + config.execution_memory)
+            * config.num_executors
+        )
+        capacity = self.capacity
+        used = self.memory_used
+        return {
+            "spark/storage_used_frac": used / capacity if capacity else 0.0,
+            "spark/storage_vs_exec_frac": used / unified if unified else 0.0,
+            "spark/partitions_cached": float(len(self._partitions)),
+        }
+
     def set_computing(self, rdd_id: Optional[int]) -> None:
         """Protect ``rdd_id``'s partitions from eviction while it runs."""
         self._computing_rdd = rdd_id

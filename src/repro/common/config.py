@@ -241,6 +241,18 @@ class MemphisConfig:
     trace_enabled: bool = False
     #: ring-buffer capacity (events) when tracing is enabled.
     trace_buffer: int = 1 << 18
+    #: metrics time-series (``repro.obs.metrics``): when True the session
+    #: samples gauge series (region occupancy, cache hit-rate windows,
+    #: Spark storage fraction, GPU residency/recycle rate, instruction
+    #: throughput) on the sim clock.  Off by default — the disabled path
+    #: is a single attribute check per instruction.
+    metrics_enabled: bool = False
+    #: sampling period when metrics are enabled, in executed instructions.
+    metrics_interval: int = 8
+    #: plan-level EXPLAIN capture (``repro.obs.explain``): when True the
+    #: session snapshots every compiled block (post-rewrite DAG +
+    #: linearized order) so ``Session.explain()`` can render them later.
+    explain_capture: bool = False
     #: static IR verification (``repro.analysis``): when True every
     #: compiled block is run through the analysis pass pipeline after
     #: rewrites + linearization and the session raises

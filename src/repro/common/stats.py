@@ -27,12 +27,16 @@ class Stats:
         self._accumulators[name] += seconds
 
     def get(self, name: str) -> int:
-        """Current value of counter ``name`` (0 if never incremented)."""
-        return self._counters[name]
+        """Current value of counter ``name`` (0 if never incremented).
+
+        Read-only: never inserts the key, so reporting and metric
+        sampling leave the counter snapshot byte-identical.
+        """
+        return self._counters.get(name, 0)
 
     def get_time(self, name: str) -> float:
-        """Accumulated seconds for timer ``name``."""
-        return self._accumulators[name]
+        """Accumulated seconds for timer ``name`` (read-only)."""
+        return self._accumulators.get(name, 0.0)
 
     def counters(self) -> dict[str, int]:
         """Snapshot of all counters."""
@@ -60,21 +64,51 @@ class Stats:
             self._accumulators[name] += seconds
         return self
 
+    def derived_ratios(self) -> dict[str, float]:
+        """Derived ratio metrics computed from raw counters.
+
+        Only ratios whose denominator is non-zero are present, so a
+        workload that never touched the GPU reports no recycle rate.
+        """
+        out: dict[str, float] = {}
+        probes = self._counters.get(LINEAGE_PROBES, 0)
+        if probes:
+            out["cache/hit_rate"] = self._counters.get(CACHE_HITS, 0) / probes
+        allocs = (self._counters.get(GPU_RECYCLED, 0)
+                  + self._counters.get(GPU_MALLOCS, 0))
+        if allocs:
+            out["gpu/recycle_rate"] = \
+                self._counters.get(GPU_RECYCLED, 0) / allocs
+        spills = self._counters.get(CACHE_SPILLS, 0)
+        if spills:
+            out["cache/restore_rate"] = \
+                self._counters.get(CACHE_RESTORES, 0) / spills
+        return out
+
     def report(self) -> str:
         """Human-readable report, grouped by subsystem prefix.
 
-        Names follow the ``subsystem/metric`` convention; counters and
-        timers of the same subsystem are reported together under one
-        header instead of interleaving two flat sorted lists.
+        Names follow the ``subsystem/metric`` convention; counters,
+        timers, and derived ratios (:meth:`derived_ratios`) of the same
+        subsystem are reported together under one header instead of
+        interleaving flat sorted lists.  The name column widens to fit
+        the longest name instead of truncating alignment at 42 chars.
         """
+        ratios = self.derived_ratios()
+        names = [*self._counters, *self._accumulators, *ratios]
+        width = max([42, *(len(n) for n in names)])
         groups: dict[str, list[str]] = {}
         for name in sorted(self._counters):
             groups.setdefault(_prefix(name), []).append(
-                f"{name:<42s} {self._counters[name]:>12d}"
+                f"{name:<{width}s} {self._counters[name]:>12d}"
             )
         for name in sorted(self._accumulators):
             groups.setdefault(_prefix(name), []).append(
-                f"{name:<42s} {self._accumulators[name]:>12.6f} s"
+                f"{name:<{width}s} {self._accumulators[name]:>12.6f} s"
+            )
+        for name in sorted(ratios):
+            groups.setdefault(_prefix(name), []).append(
+                f"{name:<{width}s} {ratios[name]:>12.4f}"
             )
         lines = ["=== statistics ==="]
         for prefix in sorted(groups):

@@ -115,6 +115,14 @@ class LineageCache:
     def entries(self) -> list[CacheEntry]:
         return list(self._entries.values())
 
+    def metrics_gauges(self) -> dict[str, float]:
+        """Gauge snapshot for the metrics sampler (``repro.obs.metrics``)."""
+        return {
+            "cache/entries": float(len(self._entries)),
+            "cache/cp_bytes": float(self.cp_bytes),
+            "cache/disk_bytes": float(self.disk_bytes),
+        }
+
     def get_entry(self, key: LineageItem) -> Optional[CacheEntry]:
         """Raw entry lookup without hit/miss accounting."""
         return self._entries.get(key)

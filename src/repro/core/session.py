@@ -70,6 +70,14 @@ from repro.lineage.item import LineageItem, function_item, literal
 from repro.memory import MemoryArbiter
 from repro.lineage.recompute import hops_from_item
 from repro.lineage.serialize import deserialize, serialize
+from repro.obs.explain import (
+    LEVEL_FULL,
+    ExplainCollector,
+    current_explain,
+    render_plan,
+    snapshot_plan,
+)
+from repro.obs.metrics import NULL_METRICS, MetricsCollector, current_metrics
 from repro.obs.tracer import NULL_TRACER, TraceCollector, current_collector
 from repro.runtime.handles import MatrixHandle
 from repro.runtime.interpreter import Interpreter, Slot
@@ -98,6 +106,29 @@ class Session:
             )
             if collector is not None else NULL_TRACER
         )
+        # metrics time-series (repro.obs.metrics): same ambient-wins
+        # pattern as tracing; without either source, NULL_METRICS keeps
+        # the interpreter's per-instruction cost a single attribute check.
+        mcollector = current_metrics()
+        if mcollector is None and self.config.metrics_enabled:
+            mcollector = MetricsCollector(self.config.metrics_interval)
+        self.metrics_collector = mcollector
+        self.metrics = (
+            mcollector.registry(
+                self.clock,
+                label=f"{self.config.reuse_mode.value}",
+                stats=self.stats,
+                interval=self.config.metrics_interval,
+            )
+            if mcollector is not None else NULL_METRICS
+        )
+        # plan-level EXPLAIN (repro.obs.explain): an ambient collector
+        # (harness --explain) wins; the config flag creates a private
+        # one whose plans Session.explain() renders without arguments.
+        explain = current_explain()
+        if explain is None and self.config.explain_capture:
+            explain = ExplainCollector()
+        self.explain_collector = explain
         # fault injection (repro.faults): an explicit plan on the config
         # wins; otherwise an ambient plan (harness --faults) applies.
         # With neither, NULL_INJECTOR keeps every hot-path guard a single
@@ -292,11 +323,18 @@ class Session:
 
     # ------------------------------------------------------------------ evaluation
 
-    def evaluate(self, handles: Sequence[MatrixHandle]) -> None:
-        """Compile and execute the DAGs of ``handles`` (one basic block)."""
+    def _compile(self, handles: Sequence[MatrixHandle]):
+        """Run the full compile pipeline over one basic block.
+
+        Rewrites (CSE, placement, transpose fusion, checkpoint/prefetch/
+        broadcast placement) and linearization, shared verbatim between
+        :meth:`evaluate` and :meth:`explain` so a plan dump shows exactly
+        what would execute.  Returns ``(roots, root_hops, order, extra)``
+        or ``None`` when nothing is pending.
+        """
         roots = [h for h in handles if h.hop.kind == KIND_OP]
         if not roots:
-            return
+            return None
         root_hops = [h.hop for h in roots]
         extra: dict[int, list] = {}
         if self.config.enable_cse:
@@ -312,6 +350,16 @@ class Session:
             order = max_parallelize(root_hops)
         else:
             order = depth_first(root_hops)
+        return roots, root_hops, order, extra
+
+    def evaluate(self, handles: Sequence[MatrixHandle]) -> None:
+        """Compile and execute the DAGs of ``handles`` (one basic block)."""
+        compiled = self._compile(handles)
+        if compiled is None:
+            return
+        _, root_hops, order, extra = compiled
+        if self.explain_collector is not None:
+            self.explain_collector.capture(root_hops, order, self.config)
         if self._verify_ir:
             # static verification gate: runs the repro.analysis pass
             # pipeline over the post-rewrite DAG + proposed order before
@@ -342,6 +390,10 @@ class Session:
             for extra_handle in extra.get(hop.id, ()):  # CSE-merged handles
                 self._rebind(extra_handle, slot)
         self.interpreter.release_acquired()
+        if self.metrics.enabled:
+            # end-of-block sample: even tiny blocks (fewer instructions
+            # than the sampling interval) contribute one point per series
+            self.metrics.sample(self)
 
     def compute(self, handle: MatrixHandle) -> np.ndarray:
         """Force evaluation and return the driver-side numpy result."""
@@ -534,6 +586,10 @@ class Session:
     def evict_gpu(self, percent: float = 100.0) -> int:
         """The ``evict`` instruction (§5.2): clean up GPU free pools."""
         self.stats.inc(EVICT_INSTRUCTIONS)
+        if self.explain_collector is not None:
+            self.explain_collector.note_evict(
+                f"evict_gpu({percent:g}%) at t={self.clock.now(HOST):.6f}s"
+            )
         return self.gpu.memory.empty_cache(percent / 100.0)
 
     @contextlib.contextmanager
@@ -661,6 +717,41 @@ class Session:
         return value
 
     # ------------------------------------------------------------------ reporting
+
+    def explain(self, handles: Optional[Sequence[MatrixHandle]] = None,
+                level: str = LEVEL_FULL) -> str:
+        """EXPLAIN: render the compiled plan of a basic block (no execution).
+
+        With ``handles`` (one or a sequence of pending handles), the
+        block is compiled through the same rewrite + linearization
+        pipeline :meth:`evaluate` uses — post-rewrite HOP DAG, placement
+        decisions, linearized instruction stream with reuse/prefetch/
+        checkpoint annotations, and per-hop cost estimates — without
+        executing anything.  Hop ids in the dump match the ids
+        ``repro.analysis`` diagnostics and trace spans reference.
+
+        Without ``handles``, renders every plan captured so far (needs
+        ``MemphisConfig(explain_capture=True)`` or an ambient
+        :func:`repro.obs.explain.install_explain` scope).
+
+        ``level`` is one of ``"hops"``, ``"runtime"``, ``"full"``.
+        """
+        if handles is not None:
+            if isinstance(handles, MatrixHandle):
+                handles = [handles]
+            compiled = self._compile(list(handles))
+            if compiled is None:
+                return "(nothing to explain: no pending operator DAG)"
+            _, root_hops, order, _extra = compiled
+            plan = snapshot_plan(root_hops, order, self.config)
+            diagnostics = None
+            if self.ir_collector is not None:
+                diagnostics = self.ir_collector.merged()
+            return render_plan(plan, level, diagnostics)
+        if self.explain_collector is None:
+            return ("(explain capture is off: pass handles, or create the "
+                    "session with MemphisConfig(explain_capture=True))")
+        return self.explain_collector.render(level)
 
     def elapsed(self) -> float:
         """Simulated end-to-end time (host timeline)."""

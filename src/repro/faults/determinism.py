@@ -41,9 +41,13 @@ def reset_ambient_state() -> None:
     collector, or fault plan into the next test.
     """
     from repro.faults.plan import uninstall_plan
+    from repro.obs.explain import uninstall_explain
+    from repro.obs.metrics import disable_metrics
     from repro.obs.tracer import disable_tracing
 
     disable_tracing()
+    disable_metrics()
+    uninstall_explain()
     uninstall_plan()
     try:
         from repro.analysis import uninstall_collector

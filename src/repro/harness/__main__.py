@@ -55,8 +55,20 @@ def main(argv: list[str] | None = None) -> int:
                         help="record a structured trace of every session "
                              "and write a Chrome/Perfetto trace file")
     parser.add_argument("--trace-summary", action="store_true",
-                        help="with --trace: also print the text summary "
-                             "(top-k instructions, hit rates, evictions)")
+                        help="print the text trace summary (top-k "
+                             "instructions, hit rates, evictions); without "
+                             "--trace the trace stays in memory only")
+    parser.add_argument("--metrics", metavar="OUT.jsonl", default=None,
+                        help="sample gauge/histogram time-series on the sim "
+                             "clock (region occupancy, hit rates, GPU "
+                             "residency, ...), write them as JSONL, and "
+                             "print a sparkline summary; with --trace the "
+                             "series also become Perfetto counter tracks")
+    parser.add_argument("--explain", action="store_true",
+                        help="capture every compiled block and print the "
+                             "plan-level EXPLAIN (post-rewrite HOP DAG + "
+                             "linearized instruction stream with reuse/"
+                             "prefetch/checkpoint/evict annotations)")
     parser.add_argument("--faults", metavar="SPEC", default=None,
                         help="inject deterministic faults (repro.faults): "
                              "SPEC is a plan JSON file, inline JSON, or a "
@@ -91,11 +103,27 @@ def main(argv: list[str] | None = None) -> int:
                      f"(see --list)")
 
     collector = None
-    if args.trace is not None:
+    if args.trace is not None or args.trace_summary:
+        # --trace-summary without --trace still needs events: collect
+        # in memory only and skip the file export below.
         from repro.obs import TraceCollector, enable_tracing
 
         collector = TraceCollector()
         enable_tracing(collector)
+
+    metrics_collector = None
+    if args.metrics is not None:
+        from repro.obs import MetricsCollector, enable_metrics
+
+        metrics_collector = MetricsCollector()
+        enable_metrics(metrics_collector)
+
+    explain_collector = None
+    if args.explain:
+        from repro.obs import ExplainCollector, install_explain
+
+        explain_collector = ExplainCollector()
+        install_explain(explain_collector)
 
     ir_collector = None
     if args.verify_ir:
@@ -138,15 +166,37 @@ def main(argv: list[str] | None = None) -> int:
             from repro.faults import uninstall_plan
 
             uninstall_plan()
+        counters = None
+        if metrics_collector is not None:
+            from repro.obs import (
+                counter_tracks,
+                disable_metrics,
+                format_metrics,
+                write_metrics_jsonl,
+            )
+
+            disable_metrics()
+            counters = counter_tracks(metrics_collector)
+            written = write_metrics_jsonl(metrics_collector, args.metrics)
+            print(f"[metrics: {written} series from "
+                  f"{metrics_collector.num_sessions} sessions -> "
+                  f"{args.metrics}]")
+            for registry in metrics_collector.registries:
+                if registry.num_samples():
+                    print()
+                    print(format_metrics(registry))
+                    break
         if collector is not None:
             from repro.obs import disable_tracing, export_chrome_trace
 
             disable_tracing()
             events = collector.events()
-            export_chrome_trace(events, args.trace,
-                                collector.session_labels)
-            print(f"[trace: {len(events)} events from "
-                  f"{collector.num_sessions} sessions -> {args.trace}]")
+            if args.trace is not None:
+                export_chrome_trace(events, args.trace,
+                                    collector.session_labels,
+                                    counters=counters)
+                print(f"[trace: {len(events)} events from "
+                      f"{collector.num_sessions} sessions -> {args.trace}]")
             if collector.ring.dropped:
                 print(f"[trace: ring buffer dropped "
                       f"{collector.ring.dropped} oldest events]")
@@ -155,6 +205,14 @@ def main(argv: list[str] | None = None) -> int:
 
                 print()
                 print(format_summary(events))
+        if explain_collector is not None:
+            from repro.obs import uninstall_explain
+
+            uninstall_explain()
+            diagnostics = (ir_collector.merged().diagnostics
+                           if ir_collector is not None else None)
+            print()
+            print(explain_collector.render(diagnostics=diagnostics))
         if ir_collector is not None:
             from repro.analysis import uninstall_collector
 

@@ -1,0 +1,192 @@
+"""Benchmark telemetry: schema-validated machine-readable bench reports.
+
+The harness experiments print human tables; CI and regression tooling
+need numbers.  ``scripts/bench_report.py`` runs experiments under an
+ambient :class:`~repro.obs.metrics.MetricsCollector` and serializes one
+record per experiment — simulated time, wall-clock, key stats counters,
+and per-series metric digests — into a ``BENCH_<n>.json`` document
+validated against :data:`BENCH_SCHEMA`.
+
+The validator is hand-rolled (like ``repro.obs.schema``) so the
+repository needs no ``jsonschema`` dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.common.stats import (
+    CACHE_HITS,
+    GPU_MALLOCS,
+    GPU_RECYCLED,
+    INSTRUCTIONS_EXECUTED,
+    LINEAGE_PROBES,
+    SPARK_JOBS,
+)
+from repro.workloads.base import WorkloadResult
+
+#: the bench-report format version (bump on breaking record changes).
+BENCH_FORMAT = 1
+
+#: counters every experiment record carries (0 when never incremented).
+KEY_COUNTERS = (
+    LINEAGE_PROBES,
+    CACHE_HITS,
+    SPARK_JOBS,
+    GPU_MALLOCS,
+    GPU_RECYCLED,
+    INSTRUCTIONS_EXECUTED,
+)
+
+#: JSON-Schema (draft-07 subset) describing a BENCH_<n>.json document.
+BENCH_SCHEMA: dict = {
+    "$schema": "http://json-schema.org/draft-07/schema#",
+    "title": "repro.harness bench report",
+    "type": "object",
+    "required": ["format", "issue", "experiments"],
+    "properties": {
+        "format": {"const": BENCH_FORMAT},
+        "issue": {"type": "integer", "minimum": 1},
+        "experiments": {
+            "type": "array",
+            "minItems": 1,
+            "items": {
+                "type": "object",
+                "required": ["name", "wall_s", "sim_time_s", "counters",
+                             "metric_series"],
+                "properties": {
+                    "name": {"type": "string", "minLength": 1},
+                    "wall_s": {"type": "number", "minimum": 0},
+                    "sim_time_s": {"type": "number", "minimum": 0},
+                    "workloads": {"type": "integer", "minimum": 0},
+                    "counters": {
+                        "type": "object",
+                        "additionalProperties": {"type": "integer"},
+                    },
+                    "metric_series": {
+                        "type": "object",
+                        "additionalProperties": {
+                            "type": "object",
+                            "required": ["n", "min", "max", "mean", "last"],
+                        },
+                    },
+                },
+            },
+        },
+    },
+}
+
+
+def _workload_results(node) -> list[WorkloadResult]:
+    """Recursively collect WorkloadResult leaves of an experiment grid."""
+    if isinstance(node, WorkloadResult):
+        return [node]
+    if isinstance(node, dict):
+        out: list[WorkloadResult] = []
+        for value in node.values():
+            out.extend(_workload_results(value))
+        return out
+    return []
+
+
+def experiment_record(name: str, result, wall_s: float,
+                      metrics_collector=None) -> dict:
+    """One bench record for an :class:`ExperimentResult`.
+
+    ``sim_time_s`` sums the simulated elapsed time of every workload
+    cell of the grid; ``counters`` sums their stats counters (restricted
+    to :data:`KEY_COUNTERS`); ``metric_series`` digests come from the
+    run's ambient metrics collector (empty when metering was off).
+    """
+    workloads = _workload_results(result.grid)
+    sim_time = sum(w.elapsed for w in workloads)
+    counters = {key: 0 for key in KEY_COUNTERS}
+    for w in workloads:
+        for key in KEY_COUNTERS:
+            counters[key] += int(w.counters.get(key, 0))
+    series: dict[str, dict] = {}
+    if metrics_collector is not None:
+        series = metrics_collector.merged_digests()
+    return {
+        "name": name,
+        "wall_s": float(wall_s),
+        "sim_time_s": float(sim_time),
+        "workloads": len(workloads),
+        "counters": counters,
+        "metric_series": series,
+    }
+
+
+def build_bench_report(records: list[dict], issue: int) -> dict:
+    """Assemble the top-level BENCH document from experiment records."""
+    return {
+        "format": BENCH_FORMAT,
+        "issue": issue,
+        "experiments": records,
+    }
+
+
+def validate_bench_report(doc: object) -> list[str]:
+    """Validate ``doc`` against :data:`BENCH_SCHEMA` semantics.
+
+    Returns human-readable problems; empty means the document is a
+    well-formed bench report as ``scripts/bench_report.py`` emits it.
+    """
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        return ["top-level document is not a JSON object"]
+    if doc.get("format") != BENCH_FORMAT:
+        problems.append(f"bad 'format' {doc.get('format')!r} "
+                        f"(expected {BENCH_FORMAT})")
+    issue = doc.get("issue")
+    if not isinstance(issue, int) or issue < 1:
+        problems.append(f"bad 'issue' {issue!r}")
+    experiments = doc.get("experiments")
+    if not isinstance(experiments, list) or not experiments:
+        return problems + ["missing/empty 'experiments' array"]
+    for i, rec in enumerate(experiments):
+        prefix = f"experiments[{i}]"
+        if not isinstance(rec, dict):
+            problems.append(f"{prefix}: not an object")
+            continue
+        name = rec.get("name")
+        if not isinstance(name, str) or not name:
+            problems.append(f"{prefix}: missing/empty 'name'")
+        for key in ("wall_s", "sim_time_s"):
+            value = rec.get(key)
+            if not isinstance(value, (int, float)) or value < 0:
+                problems.append(f"{prefix}: bad {key!r} {value!r}")
+        counters = rec.get("counters")
+        if not isinstance(counters, dict):
+            problems.append(f"{prefix}: missing 'counters'")
+        else:
+            for cname, cvalue in counters.items():
+                if not isinstance(cvalue, int):
+                    problems.append(
+                        f"{prefix}: counter {cname!r} not an integer"
+                    )
+        series = rec.get("metric_series")
+        if not isinstance(series, dict):
+            problems.append(f"{prefix}: missing 'metric_series'")
+        else:
+            for sname, digest in series.items():
+                if not isinstance(digest, dict) or not (
+                        {"n", "min", "max", "mean", "last"} <= set(digest)):
+                    problems.append(
+                        f"{prefix}: bad digest for series {sname!r}"
+                    )
+        if len(problems) > 50:
+            problems.append("... (truncated)")
+            break
+    return problems
+
+
+def assert_valid_bench_report(doc: object,
+                              context: Optional[str] = None) -> None:
+    """Raise ``ValueError`` with all problems if ``doc`` is invalid."""
+    problems = validate_bench_report(doc)
+    if problems:
+        where = f" ({context})" if context else ""
+        raise ValueError(
+            f"invalid bench report{where}:\n  " + "\n  ".join(problems)
+        )

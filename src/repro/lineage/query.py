@@ -176,13 +176,20 @@ def common_subtraces(left: LineageItem, right: LineageItem,
 
 
 def to_dot(root: LineageItem, max_nodes: int = 200) -> str:
-    """GraphViz rendering of a trace for visual debugging."""
-    lines = ["digraph lineage {", "  rankdir=BT;"]
-    count = 0
+    """GraphViz rendering of a trace for visual debugging.
+
+    Builds the node/edge lists and delegates the actual DOT emission to
+    :func:`repro.obs.explain.render_dot`, the repository's single
+    GraphViz-emitting code path (shared with explain-plan dumps).
+    """
+    from repro.obs.explain import render_dot
+
+    nodes: list[tuple[int, str, str]] = []
     seen: set[int] = set()
+    truncated = False
     for node in root.iter_dag():
-        if count >= max_nodes:
-            lines.append('  truncated [label="...", shape=plaintext];')
+        if len(nodes) >= max_nodes:
+            truncated = True
             break
         seen.add(id(node))
         label = node.opcode
@@ -190,13 +197,11 @@ def to_dot(root: LineageItem, max_nodes: int = 200) -> str:
             payload = ",".join(str(d) for d in node.data[:3])
             label += f"\\n{payload[:24]}"
         shape = "box" if node.inputs else "ellipse"
-        lines.append(f'  n{node.id} [label="{label}", shape={shape}];')
-        count += 1
-    for node in root.iter_dag():
-        if id(node) not in seen:
-            continue
-        for inp in node.inputs:
-            if id(inp) in seen:
-                lines.append(f"  n{inp.id} -> n{node.id};")
-    lines.append("}")
-    return "\n".join(lines)
+        nodes.append((node.id, label, shape))
+    edges = [
+        (inp.id, node.id)
+        for node in root.iter_dag() if id(node) in seen
+        for inp in node.inputs if id(inp) in seen
+    ]
+    return render_dot(nodes, edges, graph_name="lineage",
+                      truncated=truncated)

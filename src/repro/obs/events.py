@@ -34,6 +34,10 @@ LANES = (LANE_CP, LANE_SP, LANE_GPU, LANE_FED)
 
 PHASE_SPAN = "X"
 PHASE_INSTANT = "i"
+#: counter event — Perfetto renders a counter track per (pid, name);
+#: emitted by the metrics exporter (``repro.obs.metrics``), not by the
+#: tracer itself.
+PHASE_COUNTER = "C"
 
 # ------------------------------------------------------------ event taxonomy
 

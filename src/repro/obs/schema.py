@@ -23,7 +23,7 @@ TRACE_SCHEMA: dict = {
                 "required": ["name", "ph", "pid", "tid"],
                 "properties": {
                     "name": {"type": "string", "minLength": 1},
-                    "ph": {"enum": ["X", "i", "M"]},
+                    "ph": {"enum": ["X", "i", "M", "C"]},
                     "pid": {"type": "integer", "minimum": 0},
                     "tid": {"type": "integer", "minimum": 0},
                     "ts": {"type": "number", "minimum": 0},
@@ -60,12 +60,12 @@ def validate_chrome_trace(doc: object) -> list[str]:
         if not isinstance(name, str) or not name:
             problems.append(f"{prefix}: missing/empty 'name'")
         ph = ev.get("ph")
-        if ph not in ("X", "i", "M"):
+        if ph not in ("X", "i", "M", "C"):
             problems.append(f"{prefix}: bad phase {ph!r}")
         for key in ("pid", "tid"):
             if not isinstance(ev.get(key), int) or ev.get(key, 0) < 0:
                 problems.append(f"{prefix}: bad {key!r}")
-        if ph in ("X", "i"):
+        if ph in ("X", "i", "C"):
             ts = ev.get("ts")
             if not isinstance(ts, (int, float)) or ts < 0:
                 problems.append(f"{prefix}: bad 'ts' {ts!r}")
@@ -76,6 +76,8 @@ def validate_chrome_trace(doc: object) -> list[str]:
         args = ev.get("args")
         if args is not None and not isinstance(args, dict):
             problems.append(f"{prefix}: 'args' is not an object")
+        if ph == "C" and not isinstance(args, dict):
+            problems.append(f"{prefix}: counter event without 'args'")
         if len(problems) > 50:
             problems.append("... (truncated)")
             break

@@ -112,6 +112,7 @@ class Interpreter:
         self.cache = session.cache
         self.tracer = session.tracer
         self.faults = session.faults
+        self.metrics = session.metrics
         #: one acquired-pointer list per active run: recovery can re-enter
         #: :meth:`run` (recompute-from-lineage) while an outer run is live,
         #: and each nesting level must release exactly its own references.
@@ -131,9 +132,15 @@ class Interpreter:
         env: dict[int, Slot] = {}
         acquired: list[GpuData] = []
         self._acquired_stack.append(acquired)
+        metrics = self.metrics
         for hop in order:
             slot = self._execute_one(hop, env, acquired)
             env[hop.id] = slot
+            if metrics.enabled:
+                # time-series sampling hook (repro.obs.metrics): reads
+                # region ledgers and counters every N instructions; never
+                # advances the sim clock, so metered runs stay identical
+                metrics.tick(self.session)
         return env
 
     def release_acquired(self) -> None:

@@ -30,3 +30,57 @@ class TestCli:
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             main(["nonsense"])
+
+
+class TestObservabilityFlags:
+    def test_trace_summary_without_trace(self, capsys):
+        # regression: --trace-summary used to be silently ignored
+        # unless --trace was also given
+        assert main(["fig2c", "--trace-summary"]) == 0
+        out = capsys.readouterr().out
+        assert "=== trace summary ===" in out
+        assert "[trace:" not in out  # no file export without --trace
+
+    def test_trace_summary_with_trace(self, capsys, tmp_path):
+        trace = str(tmp_path / "trace.json")
+        assert main(["fig2c", "--trace", trace, "--trace-summary"]) == 0
+        out = capsys.readouterr().out
+        assert "=== trace summary ===" in out
+        assert "[trace:" in out
+
+    def test_metrics_flag_writes_jsonl(self, capsys, tmp_path):
+        import json
+
+        path = str(tmp_path / "metrics.jsonl")
+        assert main(["fig2c", "--metrics", path]) == 0
+        out = capsys.readouterr().out
+        assert "[metrics:" in out
+        assert "=== metrics" in out  # sparkline summary printed
+        subsystems = set()
+        with open(path) as fh:
+            for line in fh:
+                row = json.loads(line)
+                if row["kind"] == "gauge" and row["t"]:
+                    subsystems.add(row["series"].split("/", 1)[0])
+        assert {"memory", "cache", "spark", "gpu"} <= subsystems
+
+    def test_metrics_series_become_counter_tracks(self, tmp_path):
+        trace = str(tmp_path / "trace.json")
+        metrics = str(tmp_path / "metrics.jsonl")
+        assert main(["fig2c", "--trace", trace, "--metrics", metrics]) == 0
+        import json
+
+        with open(trace) as fh:
+            doc = json.load(fh)
+        counters = [e for e in doc["traceEvents"] if e["ph"] == "C"]
+        assert counters
+        from repro.obs import validate_chrome_trace
+
+        assert validate_chrome_trace(doc) == []
+
+    def test_explain_flag_prints_plans(self, capsys):
+        assert main(["fig2c", "--explain"]) == 0
+        out = capsys.readouterr().out
+        assert "=== explain" in out
+        assert "-- HOP DAG (post-rewrite) --" in out
+        assert "-- instruction stream (linearized) --" in out

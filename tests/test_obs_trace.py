@@ -350,3 +350,118 @@ class TestStatsMerge:
         assert report.splitlines()[0] == "=== statistics ==="
         assert "-- cache --" in report
         assert "-- spark --" in report
+
+    def test_merge_sums_timers(self):
+        a, b = Stats(), Stats()
+        a.add_time("runtime/compute_s", 1.5)
+        b.add_time("runtime/compute_s", 2.5)
+        b.add_time("spark/shuffle_s", 0.5)
+        a.merge(b)
+        assert a.get_time("runtime/compute_s") == 4.0
+        assert a.get_time("spark/shuffle_s") == 0.5
+        assert "runtime/compute_s" in a.report()
+
+    def test_get_does_not_insert_keys(self):
+        stats = Stats()
+        assert stats.get("cache/hits") == 0
+        assert stats.get_time("runtime/x") == 0.0
+        assert stats.counters() == {}
+        assert stats.timers() == {}
+
+    def test_report_derived_ratios(self):
+        stats = Stats()
+        stats.inc("cache/probes", 10)
+        stats.inc("cache/hits", 4)
+        stats.inc("gpu/pointers_recycled", 3)
+        stats.inc("gpu/cuda_mallocs", 1)
+        ratios = stats.derived_ratios()
+        assert ratios["cache/hit_rate"] == pytest.approx(0.4)
+        assert ratios["gpu/recycle_rate"] == pytest.approx(0.75)
+        report = stats.report()
+        assert "cache/hit_rate" in report
+        assert "gpu/recycle_rate" in report
+
+    def test_report_ratios_absent_without_denominator(self):
+        stats = Stats()
+        stats.inc("cache/hits", 4)  # hits but zero probes
+        assert "cache/hit_rate" not in stats.report()
+
+    def test_report_widens_name_column(self):
+        stats = Stats()
+        long_name = "subsystem/" + "x" * 60
+        stats.inc(long_name)
+        stats.inc("cache/hits")
+        report = stats.report()
+        for line in report.splitlines():
+            if line.startswith("cache/hits"):
+                assert len(line.split()[0]) == len("cache/hits")
+                # value column starts after the widened name column
+                assert line.index("1") > len(long_name)
+
+
+# ------------------------------------------------------------ sink rotation
+
+
+class TestRotatingJsonlSink:
+    def _event(self, i):
+        return Event(name=f"instr-{i:04d}", ph=PHASE_INSTANT, ts=float(i))
+
+    def test_no_rotation_under_limit(self, tmp_path):
+        from repro.obs import RotatingJsonlSink
+
+        path = str(tmp_path / "t.jsonl")
+        with RotatingJsonlSink(path, max_bytes=1 << 20) as sink:
+            for i in range(10):
+                sink.emit(self._event(i))
+        assert sink.rotations == 0
+        assert sink.files() == [path]
+        assert len(read_jsonl(path)) == 10
+
+    def test_rotation_preserves_every_event(self, tmp_path):
+        from repro.obs import RotatingJsonlSink
+
+        path = str(tmp_path / "t.jsonl")
+        with RotatingJsonlSink(path, max_bytes=256, backup_count=64) as sink:
+            for i in range(40):
+                sink.emit(self._event(i))
+        assert sink.rotations > 0
+        recovered = []
+        for part in sink.files():
+            recovered.extend(read_jsonl(part))
+        assert [e.name for e in recovered] == \
+            [f"instr-{i:04d}" for i in range(40)]
+
+    def test_backup_count_caps_files(self, tmp_path):
+        from repro.obs import RotatingJsonlSink
+
+        path = str(tmp_path / "t.jsonl")
+        with RotatingJsonlSink(path, max_bytes=128, backup_count=2) as sink:
+            for i in range(60):
+                sink.emit(self._event(i))
+        assert len(sink.files()) <= 3  # active + 2 backups
+        # the newest events survive; the oldest were rotated away
+        newest = read_jsonl(path)
+        assert newest[-1].name == "instr-0059"
+
+    def test_rejects_bad_parameters(self, tmp_path):
+        from repro.obs import RotatingJsonlSink
+
+        with pytest.raises(ValueError):
+            RotatingJsonlSink(str(tmp_path / "x"), max_bytes=0)
+        with pytest.raises(ValueError):
+            RotatingJsonlSink(str(tmp_path / "y"), backup_count=0)
+
+
+# ------------------------------------------------------------ empty traces
+
+
+class TestEmptyTraceSummary:
+    def test_summarize_empty(self):
+        summary = summarize([])
+        assert summary.num_events == 0
+
+    def test_format_summary_empty_is_complete(self):
+        text = format_summary([])
+        assert text.startswith("=== trace summary ===")
+        # no crash, no per-site sections with stale data
+        assert "0" in text

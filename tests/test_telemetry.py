@@ -1,0 +1,135 @@
+"""Tests for the benchmark telemetry pipeline (repro.harness.telemetry)."""
+
+import json
+import os
+import subprocess
+import sys
+
+from repro.common.stats import CACHE_HITS, LINEAGE_PROBES
+from repro.harness.runner import ExperimentResult
+from repro.harness.telemetry import (
+    BENCH_FORMAT,
+    BENCH_SCHEMA,
+    KEY_COUNTERS,
+    assert_valid_bench_report,
+    build_bench_report,
+    experiment_record,
+    validate_bench_report,
+)
+from repro.obs import MetricsCollector
+from repro.common.simclock import SimClock
+from repro.workloads.base import WorkloadResult
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _result(elapsed=1.5, hits=4, probes=8) -> WorkloadResult:
+    return WorkloadResult(
+        "w", "MPH", {}, elapsed,
+        counters={CACHE_HITS: hits, LINEAGE_PROBES: probes},
+    )
+
+
+def _experiment(grid) -> ExperimentResult:
+    return ExperimentResult("fake", grid, "table")
+
+
+class TestExperimentRecord:
+    def test_sums_nested_grid(self):
+        grid = {
+            10: {"Base": _result(1.0), "MPH": _result(2.0)},
+            20: {"Base": _result(3.0), "MPH": _result(4.0)},
+        }
+        record = experiment_record("fake", _experiment(grid), wall_s=0.5)
+        assert record["workloads"] == 4
+        assert record["sim_time_s"] == 10.0
+        assert record["counters"][CACHE_HITS] == 16
+        assert record["counters"][LINEAGE_PROBES] == 32
+        assert set(record["counters"]) == set(KEY_COUNTERS)
+
+    def test_non_workload_grid_tolerated(self):
+        # fig2d-style grids hold raw dicts, not WorkloadResults
+        record = experiment_record(
+            "fig2d", _experiment({0: {"compute_s": 1.0}}), wall_s=0.1)
+        assert record["workloads"] == 0
+        assert record["sim_time_s"] == 0.0
+
+    def test_metric_series_digests(self):
+        collector = MetricsCollector()
+        reg = collector.registry(SimClock())
+        reg.gauge("cache/entries").record(0.0, 2.0)
+        record = experiment_record("fake", _experiment({}), 0.1, collector)
+        assert record["metric_series"]["cache/entries"]["n"] == 1
+
+
+class TestValidation:
+    def _valid_doc(self):
+        record = experiment_record("fake", _experiment({0: {"m": _result()}}),
+                                   wall_s=0.5)
+        return build_bench_report([record], issue=5)
+
+    def test_valid_round_trip(self):
+        doc = self._valid_doc()
+        assert validate_bench_report(doc) == []
+        assert_valid_bench_report(doc)
+        # and survives JSON serialization
+        assert validate_bench_report(json.loads(json.dumps(doc))) == []
+
+    def test_format_pinned(self):
+        doc = self._valid_doc()
+        assert doc["format"] == BENCH_FORMAT
+        assert BENCH_SCHEMA["properties"]["format"]["const"] == BENCH_FORMAT
+
+    def test_rejects_non_object(self):
+        assert validate_bench_report([]) == \
+            ["top-level document is not a JSON object"]
+
+    def test_rejects_missing_experiments(self):
+        problems = validate_bench_report({"format": BENCH_FORMAT, "issue": 5})
+        assert any("experiments" in p for p in problems)
+
+    def test_rejects_bad_record_fields(self):
+        doc = self._valid_doc()
+        doc["experiments"][0]["wall_s"] = -1
+        doc["experiments"][0]["name"] = ""
+        problems = validate_bench_report(doc)
+        assert any("wall_s" in p for p in problems)
+        assert any("name" in p for p in problems)
+
+    def test_rejects_non_integer_counters(self):
+        doc = self._valid_doc()
+        doc["experiments"][0]["counters"] = {"cache/hits": 1.5}
+        assert any("not an integer" in p
+                   for p in validate_bench_report(doc))
+
+    def test_rejects_bad_digest(self):
+        doc = self._valid_doc()
+        doc["experiments"][0]["metric_series"] = {"cache/x": {"n": 1}}
+        assert any("bad digest" in p for p in validate_bench_report(doc))
+
+
+class TestBenchReportScript:
+    def test_validate_mode_accepts_valid_file(self, tmp_path):
+        record = experiment_record("fake", _experiment({0: {"m": _result()}}),
+                                   wall_s=0.5)
+        doc = build_bench_report([record], issue=5)
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps(doc))
+        proc = subprocess.run(
+            [sys.executable, os.path.join(REPO, "scripts", "bench_report.py"),
+             "--validate", str(path)],
+            capture_output=True, text=True, timeout=120,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "OK" in proc.stdout
+
+    def test_validate_mode_rejects_invalid_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format": 0}))
+        proc = subprocess.run(
+            [sys.executable, os.path.join(REPO, "scripts", "bench_report.py"),
+             "--validate", str(path)],
+            capture_output=True, text=True, timeout=120,
+        )
+        assert proc.returncode == 1
+        assert "FAIL" in proc.stdout
