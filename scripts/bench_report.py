@@ -6,12 +6,21 @@ one schema-validated record per experiment (simulated time, wall-clock,
 key counters, metric-series digests).  CI runs the fast subset and
 gates on the schema; the full run regenerates the committed report.
 
+The ``--wallclock`` mode instead runs the wall-clock dispatch track
+(``repro.harness.wallclock``): real ``perf_counter`` throughput and
+latency of the interpreter hot path, written as a schema-validated
+``BENCH_wallclock.json`` and optionally gated against a baseline.
+
 Usage::
 
     python scripts/bench_report.py                  # all experiments
     python scripts/bench_report.py --fast           # CI subset
     python scripts/bench_report.py fig11a fig2c     # selected
     python scripts/bench_report.py --validate BENCH_5.json
+    python scripts/bench_report.py --wallclock [--fast]
+    python scripts/bench_report.py --wallclock \
+        --baseline benchmarks/baselines/wallclock_baseline.json
+    python scripts/bench_report.py --validate-wallclock BENCH_wallclock.json
 """
 
 from __future__ import annotations
@@ -28,13 +37,19 @@ sys.path.insert(0, os.path.join(REPO, "src"))
 from repro.harness.__main__ import EXPERIMENTS  # noqa: E402
 from repro.harness.telemetry import (  # noqa: E402
     build_bench_report,
+    build_wallclock_report,
+    compare_wallclock_reports,
     experiment_record,
     validate_bench_report,
+    validate_wallclock_report,
 )
 from repro.obs import MetricsCollector, disable_metrics, enable_metrics  # noqa: E402
 
 #: the issue number this report belongs to (BENCH_<ISSUE>.json).
 ISSUE = 5
+
+#: the issue number of the wall-clock track (BENCH_wallclock.json).
+WALLCLOCK_ISSUE = 6
 
 #: quick experiments CI can afford on every push.
 FAST_SUBSET = ("fig2c", "fig2d", "fig11a", "fig12b")
@@ -60,6 +75,52 @@ def run_experiments(names: list[str]) -> list[dict]:
     return records
 
 
+def run_wallclock(fast: bool, out_path: str | None,
+                  baseline_path: str | None, tolerance: float) -> int:
+    """Run the wall-clock track; optionally gate against a baseline."""
+    from repro.harness.wallclock import run_track
+
+    results = run_track(fast=fast)
+    records = [r.as_record() for r in results]
+    for rec in records:
+        print(f"[{rec['name']}: {rec['items_per_s']:.0f} items/s, "
+              f"p50 {rec['p50_ms']:.3f} ms, p99 {rec['p99_ms']:.3f} ms "
+              f"({rec['repeats']}x{rec['iters_per_repeat']} iters)]")
+    doc = build_wallclock_report(records, issue=WALLCLOCK_ISSUE)
+    problems = validate_wallclock_report(doc)
+    if problems:
+        for p in problems:
+            print(f"  schema: {p}")
+        print("FAIL: generated wall-clock report does not validate")
+        return 1
+
+    out = out_path or os.path.join(REPO, "BENCH_wallclock.json")
+    with open(out, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"[wall-clock report: {len(records)} workload(s) -> {out}]")
+
+    if baseline_path is not None:
+        with open(baseline_path, "r", encoding="utf-8") as fh:
+            baseline = json.load(fh)
+        problems = validate_wallclock_report(baseline)
+        if problems:
+            for p in problems:
+                print(f"  baseline schema: {p}")
+            print(f"FAIL: baseline {baseline_path} does not validate")
+            return 1
+        regressions = compare_wallclock_reports(doc, baseline, tolerance)
+        if regressions:
+            for r in regressions:
+                print(f"  regression: {r}")
+            print(f"FAIL: {len(regressions)} wall-clock regression(s) "
+                  f"vs {baseline_path}")
+            return 1
+        print(f"OK: no wall-clock regressions vs {baseline_path} "
+              f"(tolerance {tolerance:.0%})")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python scripts/bench_report.py",
@@ -75,7 +136,36 @@ def main(argv: list[str] | None = None) -> int:
                              f"in the repo root)")
     parser.add_argument("--validate", metavar="PATH", default=None,
                         help="validate an existing report and exit")
+    parser.add_argument("--wallclock", action="store_true",
+                        help="run the wall-clock dispatch track instead of "
+                             "the simulated-time experiments")
+    parser.add_argument("--baseline", metavar="PATH", default=None,
+                        help="with --wallclock: compare against a baseline "
+                             "report and exit 1 on regression")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="with --baseline: allowed fractional "
+                             "items/s drop (default 0.25)")
+    parser.add_argument("--validate-wallclock", metavar="PATH", default=None,
+                        help="validate an existing wall-clock report and exit")
     args = parser.parse_args(argv)
+
+    if args.validate_wallclock is not None:
+        with open(args.validate_wallclock, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+        problems = validate_wallclock_report(doc)
+        if problems:
+            for p in problems:
+                print(f"  schema: {p}")
+            print(f"FAIL: {len(problems)} problem(s) in "
+                  f"{args.validate_wallclock}")
+            return 1
+        print(f"OK: {args.validate_wallclock} is a valid wall-clock report "
+              f"({len(doc['workloads'])} workload(s))")
+        return 0
+
+    if args.wallclock:
+        return run_wallclock(args.fast, args.out, args.baseline,
+                             args.tolerance)
 
     if args.validate is not None:
         with open(args.validate, "r", encoding="utf-8") as fh:

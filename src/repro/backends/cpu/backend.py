@@ -3,11 +3,12 @@
 from __future__ import annotations
 
 from repro.backends.cpu import kernels
+from repro.backends.cpu.vectorized import CompiledStep
 from repro.common.config import CpuConfig
 from repro.common.costs import op_flops
 from repro.common.simclock import HOST, SimClock
 from repro.common.stats import INSTRUCTIONS_EXECUTED, Stats
-from repro.runtime.values import Value
+from repro.runtime.values import MatrixValue, Value
 
 
 class CpuBackend:
@@ -20,20 +21,62 @@ class CpuBackend:
         self.clock = clock
         self.stats = stats
 
-    def execute(self, opcode: str, inputs: list[Value], attrs: dict) -> Value:
-        """Run one instruction; returns its value and charges host time."""
-        out = kernels.execute(opcode, inputs, attrs)
-        in_shapes = [v.shape for v in inputs] or [(1, 1)]
+    def charge(self, opcode: str, in_shapes: list[tuple[int, int]],
+               in_nbytes: int, out: Value) -> None:
+        """Charge simulated host time + count one executed instruction.
+
+        Shared by the generic :meth:`execute` path and the vectorized
+        chain path so both advance the clock with the identical
+        ``overhead + max(compute, memory)`` roofline term per
+        instruction — a precondition for dispatch-path byte equality.
+        """
+        cfg = self.config
         flops = op_flops(opcode, in_shapes, out.shape)
-        nbytes = out.nbytes + sum(v.nbytes for v in inputs)
-        t_compute = flops / self.config.flops_per_s
-        t_memory = nbytes / self.config.mem_bandwidth_bytes_per_s
+        nbytes = out.nbytes + in_nbytes
+        t_compute = flops / cfg.flops_per_s
+        t_memory = nbytes / cfg.mem_bandwidth_bytes_per_s
         self.clock.advance(
-            self.config.instruction_overhead_s + max(t_compute, t_memory),
+            cfg.instruction_overhead_s
+            + (t_compute if t_compute > t_memory else t_memory),
             HOST,
         )
         self.stats.inc(INSTRUCTIONS_EXECUTED)
+
+    def execute(self, opcode: str, inputs: list[Value], attrs: dict) -> Value:
+        """Run one instruction; returns its value and charges host time."""
+        out = kernels.execute(opcode, inputs, attrs)
+        in_shapes = []
+        in_nbytes = 0
+        for v in inputs:
+            in_shapes.append(v.shape)
+            in_nbytes += v.nbytes
+        if not in_shapes:
+            in_shapes = [(1, 1)]
+        self.charge(opcode, in_shapes, in_nbytes, out)
         return out
+
+    def execute_chain(self, steps: list[CompiledStep],
+                      value: MatrixValue) -> list[MatrixValue]:
+        """Run a precompiled cell-wise ufunc chain on ``value``.
+
+        Returns one :class:`MatrixValue` per step, in order.  Each step
+        is applied to the *normalized* output array of its predecessor
+        and charged through :meth:`charge` individually, so results,
+        counters, and clock advances match ``len(steps)`` successive
+        :meth:`execute` calls bit for bit — only the per-instruction
+        dispatch overhead (registry lookup, operand unpacking) is gone.
+        """
+        outs: list[MatrixValue] = []
+        arr = value.data
+        in_nbytes = value.nbytes
+        for step in steps:
+            out = MatrixValue(step.apply(arr))
+            self.charge(step.hop.opcode, step.in_shapes(arr.shape),
+                        in_nbytes + step.extra_in_nbytes, out)
+            outs.append(out)
+            arr = out.data
+            in_nbytes = out.nbytes
+        return outs
 
     def supports(self, opcode: str) -> bool:
         """Whether this backend has a kernel for ``opcode``."""

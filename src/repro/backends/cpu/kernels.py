@@ -42,14 +42,12 @@ def execute(opcode: str, inputs: list[Value], attrs: dict) -> Value:
 
 def _binary_args(inputs: list[Value]) -> tuple[np.ndarray | float, np.ndarray | float, bool]:
     """Unpack binary operands; scalars stay python floats for broadcasting."""
-    def unpack(v: Value):
-        if isinstance(v, ScalarValue):
-            return v.as_float()
-        return v.data
-
-    a, b = unpack(inputs[0]), unpack(inputs[1])
-    both_scalar = isinstance(inputs[0], ScalarValue) and isinstance(inputs[1], ScalarValue)
-    return a, b, both_scalar
+    v0, v1 = inputs
+    s0 = isinstance(v0, ScalarValue)
+    s1 = isinstance(v1, ScalarValue)
+    a = v0.as_float() if s0 else v0.data
+    b = v1.as_float() if s1 else v1.data
+    return a, b, s0 and s1
 
 
 def _broadcastable(a, b):
@@ -68,7 +66,10 @@ def _make_binary(op):
     return fn
 
 
-for _code, _op in {
+#: cell-wise binary opcodes -> numpy ufuncs.  Shared with the vectorized
+#: chain layer (``repro.backends.cpu.vectorized``) so both dispatch paths
+#: execute the exact same ufunc object.
+BINARY_UFUNCS: dict[str, Callable] = {
     "+": np.add,
     "-": np.subtract,
     "*": np.multiply,
@@ -82,7 +83,9 @@ for _code, _op in {
     "<=": np.less_equal,
     "==": np.equal,
     "!=": np.not_equal,
-}.items():
+}
+
+for _code, _op in BINARY_UFUNCS.items():
     _KERNELS[_code] = _make_binary(_op)
 
 
@@ -96,7 +99,8 @@ def _make_unary(op, scalar_ok=True):
     return fn
 
 
-for _code, _op in {
+#: cell-wise unary opcodes -> numpy ufuncs (see :data:`BINARY_UFUNCS`).
+UNARY_UFUNCS: dict[str, Callable] = {
     "exp": np.exp,
     "log": np.log,
     "sqrt": np.sqrt,
@@ -106,7 +110,9 @@ for _code, _op in {
     "floor": np.floor,
     "ceil": np.ceil,
     "tanh": np.tanh,
-}.items():
+}
+
+for _code, _op in UNARY_UFUNCS.items():
     _KERNELS[_code] = _make_unary(_op)
 
 

@@ -40,7 +40,14 @@ REORG_OPS = {
 
 def matrix_bytes(rows: int, cols: int, sparsity: float = 1.0) -> int:
     """Worst-case serialized size of a dense block (``s(o)`` in Eq. 1)."""
-    return int(max(rows, 1) * max(cols, 1) * DOUBLE_BYTES * max(sparsity, 0.05))
+    # branches instead of max(): this runs once per hop per compile
+    if rows < 1:
+        rows = 1
+    if cols < 1:
+        cols = 1
+    if sparsity < 0.05:
+        sparsity = 0.05
+    return int(rows * cols * DOUBLE_BYTES * sparsity)
 
 
 def op_flops(opcode: str, in_shapes: list[tuple[int, int]],
@@ -51,11 +58,23 @@ def op_flops(opcode: str, in_shapes: list[tuple[int, int]],
     output.  Unknown opcodes default to one FLOP per output cell, which
     keeps the model total and monotone.
     """
-    out_cells = max(out_shape[0], 1) * max(out_shape[1], 1)
+    rows, cols = out_shape
+    out_cells = (rows if rows > 1 else 1) * (cols if cols > 1 else 1)
+    # membership tests ordered by hot-path frequency (the opcode sets
+    # are disjoint, so reordering cannot change the result)
+    if opcode in ELEMENTWISE_1:
+        return float(out_cells)
     if opcode in MATMUL_OPS:
         m, k = in_shapes[0]
         _, n = in_shapes[1]
         return 2.0 * m * k * n
+    if opcode in AGGREGATES:
+        r, c = in_shapes[0]
+        return float((r if r > 1 else 1) * (c if c > 1 else 1))
+    if opcode in ELEMENTWISE_20:
+        return 20.0 * out_cells
+    if opcode in REORG_OPS:
+        return 0.1 * out_cells
     if opcode == "fed_tsmm":
         m, k = in_shapes[0]
         return 2.0 * m * k * k
@@ -70,15 +89,6 @@ def op_flops(opcode: str, in_shapes: list[tuple[int, int]],
         return 2.0 * out_cells * max(filt[1], 1)
     if opcode in ("maxpool", "avgpool"):
         return 4.0 * out_cells
-    if opcode in ELEMENTWISE_20:
-        return 20.0 * out_cells
-    if opcode in AGGREGATES:
-        in_cells = max(in_shapes[0][0], 1) * max(in_shapes[0][1], 1)
-        return float(in_cells)
-    if opcode in REORG_OPS:
-        return 0.1 * out_cells
-    if opcode in ELEMENTWISE_1:
-        return float(out_cells)
     return float(out_cells)
 
 

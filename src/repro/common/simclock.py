@@ -49,8 +49,10 @@ class SimClock:
         """Advance ``timeline`` by ``seconds`` and return the new time."""
         if seconds < 0:
             raise ValueError(f"cannot advance clock by negative time {seconds}")
-        self.timelines[timeline] += seconds
-        return self.timelines[timeline]
+        timelines = self.timelines
+        now = timelines[timeline] + seconds
+        timelines[timeline] = now
+        return now
 
     def advance_to(self, when: float, timeline: str = HOST) -> float:
         """Move ``timeline`` forward to ``when`` (no-op if already later)."""

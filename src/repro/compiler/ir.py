@@ -109,7 +109,7 @@ class Hop:
         "id", "kind", "opcode", "inputs", "attrs", "shape",
         "_handle_ref", "value", "placement", "prefetch",
         "async_broadcast", "checkpoint", "fused", "bundle", "finalizer",
-        "__weakref__",
+        "_obytes", "__weakref__",
     )
 
     def __init__(self, kind: str, opcode: str, inputs: list["Hop"],
@@ -146,6 +146,8 @@ class Hop:
         self.checkpoint = False
         #: transpose fused into a tsmm/cpmm physical operator (skipped).
         self.fused = False
+        #: lazily-cached output_bytes (shape is immutable after init).
+        self._obytes: Optional[int] = None
 
     # -- handle binding (weak, so expression temporaries can die) -------------
 
@@ -172,7 +174,10 @@ class Hop:
 
     @property
     def output_bytes(self) -> int:
-        return matrix_bytes(*self.shape)
+        obytes = self._obytes
+        if obytes is None:
+            obytes = self._obytes = matrix_bytes(*self.shape)
+        return obytes
 
     @property
     def memory_estimate(self) -> int:
@@ -189,7 +194,7 @@ class Hop:
             self.opcode in SCALAR_OPS or self.kind == KIND_LITERAL
         )
 
-    def iter_dag(self):
+    def iter_dag(self) -> list["Hop"]:
         """Every distinct node reachable from this hop, exactly once.
 
         The order is the **deterministic left-to-right post-order**:
@@ -200,21 +205,33 @@ class Hop:
         compiler passes rely on this order being stable so that rewrite
         decisions (e.g. ``max_parallelize`` tie-breaking) are
         reproducible across runs.
+
+        Returns a list rather than a generator: every compiler pass
+        walks the full traversal (several times per evaluated block),
+        and generator frame resumption was the single largest cost in
+        the evaluate hot path before the switch.
         """
+        out: list[Hop] = []
         seen: set[int] = set()
         stack: list[tuple[Hop, bool]] = [(self, False)]
+        push = stack.append
+        pop = stack.pop
         while stack:
-            node, expanded = stack.pop()
+            node, expanded = pop()
+            nid = node.id
             if expanded:
-                if node.id not in seen:
-                    seen.add(node.id)
-                    yield node
+                if nid not in seen:
+                    seen.add(nid)
+                    out.append(node)
                 continue
-            if node.id in seen:
+            if nid in seen:
                 continue
-            stack.append((node, True))
-            for inp in reversed(node.inputs):
-                stack.append((inp, False))
+            push((node, True))
+            inputs = node.inputs
+            if inputs:
+                for inp in reversed(inputs):
+                    push((inp, False))
+        return out
 
     def validate(self, raise_on_error: bool = True):
         """Structurally verify the DAG rooted here (dag-verify pass).

@@ -40,42 +40,50 @@ def depth_first(roots: list[Hop],
     order: list[Hop] = []
     seen = visited if visited is not None else set()
     on_path: set[int] = set()
+    emit = order.append
+    mark = seen.add
+    enter = on_path.add
+    leave = on_path.discard
     for root in roots:
         stack: list[tuple[Hop, bool]] = [(root, False)]
+        push = stack.append
+        pop = stack.pop
         while stack:
-            node, expanded = stack.pop()
+            node, expanded = pop()
+            nid = node.id
             if expanded:
-                on_path.discard(node.id)
-                if node.id not in seen:
-                    seen.add(node.id)
-                    order.append(node)
+                leave(nid)
+                if nid not in seen:
+                    mark(nid)
+                    emit(node)
                 continue
-            if node.id in seen or node.id in on_path:
+            if nid in seen or nid in on_path:
                 continue
-            on_path.add(node.id)
-            stack.append((node, True))
-            for inp in reversed(node.inputs):
-                if inp.id in on_path:
-                    raise CompilationError(
-                        f"cycle in HOP DAG: {inp!r} reachable from "
-                        f"itself via {node!r}"
-                    )
-                stack.append((inp, False))
+            enter(nid)
+            push((node, True))
+            inputs = node.inputs
+            if inputs:
+                for inp in reversed(inputs):
+                    if inp.id in on_path:
+                        raise CompilationError(
+                            f"cycle in HOP DAG: {inp!r} reachable from "
+                            f"itself via {node!r}"
+                        )
+                    push((inp, False))
     return order
 
 
-def _chain_roots(roots: list[Hop]) -> tuple[list[Hop], list[Hop]]:
+def _chain_roots(nodes: list[Hop]) -> tuple[list[Hop], list[Hop]]:
     """Collect Spark and GPU remote-chain roots (Algorithm 2 step 1)."""
     sp_roots: list[Hop] = []
     gpu_roots: list[Hop] = []
-    for root in roots:
-        for hop in root.iter_dag():
-            if hop.kind != KIND_OP:
-                continue
-            if hop.prefetch and hop.placement == BACKEND_SP:
-                sp_roots.append(hop)
-            elif hop.prefetch and hop.placement == BACKEND_GPU:
-                gpu_roots.append(hop)
+    for hop in nodes:
+        if hop.kind != KIND_OP:
+            continue
+        if hop.prefetch and hop.placement == BACKEND_SP:
+            sp_roots.append(hop)
+        elif hop.prefetch and hop.placement == BACKEND_GPU:
+            gpu_roots.append(hop)
     return sp_roots, gpu_roots
 
 
@@ -87,11 +95,19 @@ def _count_backend_ops(root: Hop, backend: str) -> int:
     )
 
 
-def max_parallelize(roots: list[Hop]) -> list[Hop]:
-    """Algorithm 2: linearize remote chains first, longest chain first."""
-    sp_roots, gpu_roots = _chain_roots(roots)
+def max_parallelize(roots: list[Hop],
+                    nodes: list[Hop] | None = None) -> list[Hop]:
+    """Algorithm 2: linearize remote chains first, longest chain first.
+
+    ``nodes`` optionally supplies the depth-first linearization already
+    computed by the caller; with no remote chains present it is returned
+    as-is, so the all-local common case costs zero extra traversals.
+    """
+    if nodes is None:
+        nodes = depth_first(roots)
+    sp_roots, gpu_roots = _chain_roots(nodes)
     if not sp_roots and not gpu_roots:
-        return depth_first(roots)
+        return nodes
 
     counted: list[tuple[int, Hop]] = []
     for hop in sp_roots:

@@ -17,27 +17,31 @@ from __future__ import annotations
 
 from repro.common.config import MemphisConfig
 from repro.compiler.ir import KIND_OP, Hop
-from repro.compiler.rewrites.async_ops import consumers_map
+from repro.compiler.rewrites.async_ops import _all_nodes, consumers_map
 from repro.core.entry import BACKEND_SP
 
 
-def place_shared_checkpoints(roots: list[Hop], config: MemphisConfig) -> int:
+def place_shared_checkpoints(roots: list[Hop], config: MemphisConfig,
+                             consumers: dict[int, list[Hop]] | None = None,
+                             nodes: list[Hop] | None = None) -> int:
     """Rewrite 1: persist Spark hops shared by multiple Spark consumers."""
     if not config.enable_checkpoint_rewrite:
         return 0
-    consumers = consumers_map(roots)
+    if nodes is None:
+        nodes = _all_nodes(roots)
+    if consumers is None:
+        consumers = consumers_map(roots, nodes)
     placed = 0
-    for root in roots:
-        for hop in root.iter_dag():
-            if hop.kind != KIND_OP or hop.placement != BACKEND_SP:
-                continue
-            sp_consumers = [
-                c for c in consumers.get(hop.id, [])
-                if c.placement == BACKEND_SP or c.prefetch
-            ]
-            if len(sp_consumers) >= 2 and not hop.checkpoint:
-                hop.checkpoint = True
-                placed += 1
+    for hop in nodes:
+        if hop.kind != KIND_OP or hop.placement != BACKEND_SP:
+            continue
+        sp_consumers = [
+            c for c in consumers.get(hop.id, [])
+            if c.placement == BACKEND_SP or c.prefetch
+        ]
+        if len(sp_consumers) >= 2 and not hop.checkpoint:
+            hop.checkpoint = True
+            placed += 1
     return placed
 
 

@@ -18,7 +18,7 @@ def _canonical_key(hop: Hop, canon: dict[int, Hop]):
         handle = hop.handle
         return ("data", id(handle) if handle is not None else hop.id)
     inputs = tuple(canon[h.id].id for h in hop.inputs)
-    attrs = tuple(sorted(hop.attrs.items()))
+    attrs = tuple(sorted(hop.attrs.items())) if hop.attrs else ()
     return ("op", hop.opcode, attrs, inputs)
 
 
@@ -35,53 +35,38 @@ def eliminate_common_subexpressions(
     by_key: dict[object, Hop] = {}
     extra_handles: dict[int, list] = {}
 
-    def visit(hop: Hop) -> Hop:
-        if hop.id in canon:
-            return canon[hop.id]
-        for inp in hop.inputs:
-            visit(inp)
-        key = _canonical_key(hop, canon)
-        existing = by_key.get(key)
-        if existing is not None and existing is not hop:
-            canon[hop.id] = existing
-            if hop.handle is not None and existing.handle is not hop.handle:
-                extra_handles.setdefault(existing.id, []).append(hop.handle)
-            return existing
-        # rewire inputs to canonical representatives
-        if hop.kind == KIND_OP:
-            hop.inputs = [canon[h.id] for h in hop.inputs]
-        by_key[key] = hop
-        canon[hop.id] = hop
-        return hop
-
-    # iterative wrapper to avoid deep recursion on long chains
+    # iterative traversal to avoid deep recursion on long chains; the
+    # visit_once body is inlined in the expanded branch (this loop runs
+    # once per hop per evaluated block)
     def visit_iterative(root: Hop) -> Hop:
         stack: list[tuple[Hop, bool]] = [(root, False)]
+        push = stack.append
+        pop = stack.pop
         while stack:
-            node, expanded = stack.pop()
-            if node.id in canon:
+            node, expanded = pop()
+            nid = node.id
+            if nid in canon:
                 continue
             if expanded:
-                visit_once(node)
+                key = _canonical_key(node, canon)
+                existing = by_key.get(key)
+                if existing is not None and existing is not node:
+                    canon[nid] = existing
+                    handle = node.handle
+                    if handle is not None and existing.handle is not handle:
+                        extra_handles.setdefault(
+                            existing.id, []).append(handle)
+                    continue
+                if node.kind == KIND_OP:
+                    node.inputs = [canon[h.id] for h in node.inputs]
+                by_key[key] = node
+                canon[nid] = node
                 continue
-            stack.append((node, True))
+            push((node, True))
             for inp in node.inputs:
                 if inp.id not in canon:
-                    stack.append((inp, False))
+                    push((inp, False))
         return canon[root.id]
-
-    def visit_once(hop: Hop) -> None:
-        key = _canonical_key(hop, canon)
-        existing = by_key.get(key)
-        if existing is not None and existing is not hop:
-            canon[hop.id] = existing
-            if hop.handle is not None and existing.handle is not hop.handle:
-                extra_handles.setdefault(existing.id, []).append(hop.handle)
-            return
-        if hop.kind == KIND_OP:
-            hop.inputs = [canon[h.id] for h in hop.inputs]
-        by_key[key] = hop
-        canon[hop.id] = hop
 
     new_roots = [visit_iterative(r) for r in roots]
     return new_roots, extra_handles

@@ -178,14 +178,15 @@ class LineageCache:
         admission policy).  Returns the entry when the payload was
         actually cached, else ``None``.
         """
-        self._logical_time += 1
+        now = self._logical_time = self._logical_time + 1
         n = self.delay_factor if delay_factor is None else delay_factor
-        entry = self._entries.get(key)
+        entries = self._entries
+        entry = entries.get(key)
         if entry is None:
             entry = CacheEntry(key, compute_cost, size)
-            self._entries[key] = entry
+            entries[key] = entry
         entry.seen_count += 1
-        entry.last_access = self._logical_time
+        entry.last_access = now
         if not self.arbiter.admit(REGION_CP, entry.seen_count, n):
             self.stats.inc(CACHE_DELAYED)
             if self.tracer.enabled:

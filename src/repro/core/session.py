@@ -66,7 +66,12 @@ from repro.core.entry import BACKEND_CP, BACKEND_GPU, BACKEND_SP
 from repro.core.spark_cache import SparkCacheManager
 from repro.faults.injector import NULL_INJECTOR, FaultInjector
 from repro.faults.plan import current_plan
-from repro.lineage.item import LineageItem, function_item, literal
+from repro.lineage.item import (
+    LineageInterner,
+    LineageItem,
+    function_item,
+    literal,
+)
 from repro.memory import MemoryArbiter
 from repro.lineage.recompute import hops_from_item
 from repro.lineage.serialize import deserialize, serialize
@@ -153,6 +158,11 @@ class Session:
             flops_per_s=self.config.cpu.flops_per_s,
             tracer=self.tracer, faults=self.faults, arbiter=self.arbiter,
         )
+        # hash-consing table for lineage keys: the interpreter's TRACE
+        # step interns every op item, so re-traced instructions return
+        # the canonical object and cache probes hit the dict's identity
+        # fast path instead of structural DAG comparison.
+        self.lineage_interner = LineageInterner()
         self.cpu = CpuBackend(self.config.cpu, self.clock, self.stats)
         self.spark_context = SparkContext(
             self.config.spark, self.clock, self.stats, tracer=self.tracer,
@@ -341,15 +351,24 @@ class Session:
             root_hops, extra = eliminate_common_subexpressions(root_hops)
             for handle, hop in zip(roots, root_hops):
                 handle.hop = hop
-        assign_placements(root_hops, self.config)
-        self._mark_fused_transposes(root_hops)
-        place_shared_checkpoints(root_hops, self.config)
-        place_prefetch(root_hops, self.config)
-        place_broadcast(root_hops, self.config)
+        # one traversal serves the whole pipeline below: after CSE the
+        # DAG structure is frozen (placement and the rewrites only set
+        # per-hop flags), so each pass re-walking the DAG was pure
+        # repeated traversal cost.  depth_first yields the deduplicated
+        # post-order every pass needs (inputs before consumers) and
+        # doubles as the final instruction order when no remote chains
+        # call for max_parallelize reordering.
+        nodes = depth_first(root_hops)
+        assign_placements(root_hops, self.config, nodes)
+        consumers = consumers_map(root_hops, nodes)
+        self._mark_fused_transposes(root_hops, consumers, nodes)
+        place_shared_checkpoints(root_hops, self.config, consumers, nodes)
+        place_prefetch(root_hops, self.config, consumers, nodes)
+        place_broadcast(root_hops, self.config, consumers, nodes)
         if self.config.enable_max_parallelize:
-            order = max_parallelize(root_hops)
+            order = max_parallelize(root_hops, nodes)
         else:
-            order = depth_first(root_hops)
+            order = nodes
         return roots, root_hops, order, extra
 
     def evaluate(self, handles: Sequence[MatrixHandle]) -> None:
@@ -435,22 +454,26 @@ class Session:
             hop, _release_ptr, self.gpu.memory, ptr
         )
 
-    def _mark_fused_transposes(self, roots: list[Hop]) -> None:
+    def _mark_fused_transposes(self, roots: list[Hop],
+                               consumers: Optional[dict] = None,
+                               nodes: Optional[list[Hop]] = None) -> None:
         """Fuse ``r'`` feeding tsmm/cpmm physical operators (skip exec)."""
-        consumers = consumers_map(roots)
-        for root in roots:
-            for hop in root.iter_dag():
-                if hop.kind != KIND_OP or hop.opcode != "ba+*":
-                    continue
-                if hop.placement != BACKEND_SP:
-                    continue
-                pattern = matmul_pattern(hop, self.config)
-                if pattern not in ("tsmm", "cpmm"):
-                    continue
-                t_hop = hop.inputs[0]
-                if t_hop.opcode == "r'" and len(
-                        consumers.get(t_hop.id, ())) == 1:
-                    t_hop.fused = True
+        if nodes is None:
+            nodes = [hop for root in roots for hop in root.iter_dag()]
+        if consumers is None:
+            consumers = consumers_map(roots, None)
+        for hop in nodes:
+            if hop.kind != KIND_OP or hop.opcode != "ba+*":
+                continue
+            if hop.placement != BACKEND_SP:
+                continue
+            pattern = matmul_pattern(hop, self.config)
+            if pattern not in ("tsmm", "cpmm"):
+                continue
+            t_hop = hop.inputs[0]
+            if t_hop.opcode == "r'" and len(
+                    consumers.get(t_hop.id, ())) == 1:
+                t_hop.fused = True
 
     # --------------------------------------------------------- multi-level reuse
 

@@ -51,14 +51,24 @@ class LineageItem:
                  inputs: tuple["LineageItem", ...] = ()) -> None:
         self.id: int = next(_ids)
         self.opcode = opcode
-        self.data = tuple(data)
-        self.inputs = tuple(inputs)
-        self.height: int = (
-            1 + max((inp.height for inp in self.inputs), default=-1)
-        )
-        self._hash: int = hash(
-            (self.opcode, self.data, tuple(inp._hash for inp in self.inputs))
-        )
+        self.data = data if type(data) is tuple else tuple(data)
+        inputs = inputs if type(inputs) is tuple else tuple(inputs)
+        self.inputs = inputs
+        # explicit loop instead of two genexprs: item construction is on
+        # the TRACE hot path (one per interner miss)
+        if inputs:
+            hmax = -1
+            hashes = []
+            append = hashes.append
+            for inp in inputs:
+                if inp.height > hmax:
+                    hmax = inp.height
+                append(inp._hash)
+            self.height = 1 + hmax
+            self._hash = hash((opcode, self.data, tuple(hashes)))
+        else:
+            self.height = 0
+            self._hash = hash((opcode, self.data, ()))
 
     def __hash__(self) -> int:
         return self._hash
@@ -102,6 +112,55 @@ class LineageItem:
     def dag_size(self) -> int:
         """Number of distinct nodes in this item's DAG."""
         return sum(1 for _ in self.iter_dag())
+
+
+class LineageInterner:
+    """Hash-consing table: structurally identical items become one object.
+
+    The interpreter's TRACE step (paper Fig. 4) constructs one lineage
+    item per executed instruction.  Iterative workloads re-trace the
+    same instructions every iteration, so without interning each
+    iteration allocates a fresh — structurally equal — item, and every
+    cache probe pays a full :func:`dags_equal` structural comparison
+    when dict hashing collides equal keys.
+
+    Interning keys on ``(opcode, data, input identities)``: because the
+    interpreter interns bottom-up, two structurally equal op items built
+    from the same (interned or handle-bound) inputs share identical
+    input objects, so identity of inputs is equivalent to structural
+    equality of inputs.  The canonical item is returned for every
+    repeat, which makes subsequent cache probes hit the dictionary's
+    identity fast path instead of running ``dags_equal``.
+
+    Items built *outside* the interner (deserialized logs, hand-built
+    DAGs) simply miss the table and fall back to structural equality —
+    behaviour is unchanged, only slower for that item.
+
+    One interner per session (see ``Session.lineage_interner``): the
+    table's lifetime — and its memory — follows the session, mirroring
+    the lineage cache it accelerates.
+    """
+
+    __slots__ = ("_table",)
+
+    def __init__(self) -> None:
+        self._table: dict[tuple, LineageItem] = {}
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def intern(self, opcode: str, data: tuple,
+               inputs: tuple[LineageItem, ...]) -> LineageItem:
+        """Canonical item for ``(opcode, data, inputs)`` (hash-consing)."""
+        key = (opcode, data, tuple(map(id, inputs)))
+        item = self._table.get(key)
+        if item is None:
+            item = LineageItem(opcode, data, inputs)
+            self._table[key] = item
+        return item
+
+    def clear(self) -> None:
+        self._table.clear()
 
 
 def literal(value: object) -> LineageItem:

@@ -260,7 +260,12 @@ class MetricsRegistry:
 
 
 class NullMetrics:
-    """Disabled registry: the per-instruction cost is one attribute load."""
+    """Disabled registry: the per-instruction cost is one attribute load.
+
+    One of the three null singletons of the zero-overhead pattern
+    (docs/ARCHITECTURE.md "Zero overhead when disabled"); with all
+    three installed the interpreter selects the fast dispatch loop.
+    """
 
     enabled = False
     session_id = -1

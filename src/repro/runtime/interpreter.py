@@ -12,6 +12,29 @@ Executes a linearized hop stream following the paper's main loop
 and handles all inter-backend data exchange (collect, broadcast,
 parallelize, H2D/D2H), asynchronous prefetch futures, checkpoint
 persisting, and GPU pointer lifetimes.
+
+Stage map (MEMPHIS paper section -> code):
+
+* **TRACE** (§3.2, fine-grained lineage): :meth:`Interpreter._trace` —
+  interned lineage-item construction plus the per-instruction tracing
+  overhead charge the paper measures in Fig. 2(c).
+* **REUSE** (§4.1, probe + multi-backend hit application):
+  :meth:`Interpreter._probe` / :meth:`Interpreter._apply_reuse`.
+* **EXECUTE** (Table 2 operator set): ``_exec_cpu`` / ``_exec_gpu`` /
+  ``_exec_spark`` plus the exchange helpers (``_to_cp`` et al.)
+  implementing the paper's collect/broadcast/H2D/D2H edges.
+* **PUT** (§4.2, admission with delayed caching):
+  :meth:`Interpreter._put`.
+* Async rewrites (§5.1): ``_issue_prefetch`` / ``_issue_broadcast``;
+  checkpoints (§5.2) persist inside :meth:`_reuse_or_execute`.
+
+The per-instruction loop itself lives in ``repro.runtime.dispatch``,
+which specializes it at run start: a fully-guarded instrumented loop
+when tracing/metrics/faults are live, and a fast loop — with the
+disabled-layer guards constant-folded away and cell-wise runs batched
+through the vectorized CPU layer — when they are not.  Both loops call
+back into the stage methods above; docs/PERFORMANCE.md covers the
+architecture and the wall-clock benchmarks gating it.
 """
 
 from __future__ import annotations
@@ -51,6 +74,7 @@ from repro.obs.events import (
     EV_PREFETCH_DONE,
     LANE_CP,
 )
+from repro.runtime.dispatch import Slot, _attr_data, select_loop
 from repro.runtime.placement import (
     SPARK_AGG_ACTION,
     SPARK_AGG_MAP,
@@ -63,42 +87,7 @@ from repro.runtime.values import MatrixValue, ScalarValue, Value
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.session import Session
 
-
-class Slot:
-    """Runtime binding of one hop: lineage + multi-backend payloads."""
-
-    __slots__ = ("lineage", "payloads", "future", "broadcast", "fused_from")
-
-    def __init__(self, lineage: LineageItem) -> None:
-        self.lineage = lineage
-        self.payloads: dict[str, object] = {}
-        #: pending asynchronous fetch (prefetch rewrite).
-        self.future: Optional[SimFuture] = None
-        #: broadcast variable created for this value (if any).
-        self.broadcast: Optional[Broadcast] = None
-        #: for fused transposes: the slot of the underlying input.
-        self.fused_from: Optional["Slot"] = None
-
-
-def _attr_data(attrs: dict) -> tuple:
-    """Flatten attributes into a deterministic lineage data tuple.
-
-    NaN floats are encoded as a sentinel string: Python hashes NaN by
-    object identity and ``nan != nan``, which would make structurally
-    identical lineage items unequal (breaking all reuse of e.g.
-    ``replace(NaN, v)``).
-    """
-    out: list = []
-    for key in sorted(attrs):
-        out.append(key)
-        value = attrs[key]
-        if isinstance(value, float) and value != value:
-            out.append("__nan__")
-        elif isinstance(value, (int, float, bool, str)):
-            out.append(value)
-        else:
-            out.append(str(value))
-    return tuple(out)
+__all__ = ["Interpreter", "Slot"]
 
 
 class Interpreter:
@@ -132,15 +121,11 @@ class Interpreter:
         env: dict[int, Slot] = {}
         acquired: list[GpuData] = []
         self._acquired_stack.append(acquired)
-        metrics = self.metrics
-        for hop in order:
-            slot = self._execute_one(hop, env, acquired)
-            env[hop.id] = slot
-            if metrics.enabled:
-                # time-series sampling hook (repro.obs.metrics): reads
-                # region ledgers and counters every N instructions; never
-                # advances the sim clock, so metered runs stay identical
-                metrics.tick(self.session)
+        # dispatch specialization: pick the fast or instrumented loop
+        # once per run instead of re-checking tracer/metrics/faults
+        # guards on every instruction (see repro.runtime.dispatch)
+        loop = select_loop(self)
+        loop(self, order, env, acquired)
         return env
 
     def release_acquired(self) -> None:
@@ -155,6 +140,15 @@ class Interpreter:
 
     def _execute_one(self, hop: Hop, env: dict[int, Slot],
                      gpu_created: list[GpuData]) -> Slot:
+        """One Fig. 4 iteration on the instrumented path.
+
+        Stages, in order: leaf binding (literals / data hops), TRACE
+        (§3.2), the fault-injection draw point, and — under the
+        instruction's tracer span — REUSE / EXECUTE / PUT via
+        :meth:`_reuse_or_execute`.  The fast dispatch loop
+        (``repro.runtime.dispatch.run_fast``) inlines the same stages
+        with the disabled observability branches removed.
+        """
         mode = self.config.reuse_mode
 
         if hop.kind == KIND_LITERAL:
@@ -239,26 +233,47 @@ class Interpreter:
     # ----------------------------------------------------------------- trace / reuse
 
     def _trace(self, hop: Hop, in_slots: list[Slot]) -> LineageItem:
+        """TRACE stage (paper §3.2): build the instruction's lineage item.
+
+        Items are *interned* through the session's hash-consing table,
+        so re-traced instructions (every iteration of a loop re-traces
+        the same expression) return the canonical object and later
+        cache probes compare by identity.  When lineage is active
+        (every mode but NONE) the paper's per-instruction tracing
+        overhead is charged to the host timeline — the cost Fig. 2(c)
+        bounds at ~5% end-to-end.
+        """
         mode = self.config.reuse_mode
         inputs = tuple(s.lineage for s in in_slots)
-        item = LineageItem(hop.opcode, _attr_data(hop.attrs), inputs)
+        attrs = hop.attrs
+        item = self.session.lineage_interner.intern(
+            hop.opcode, _attr_data(attrs) if attrs else (), inputs
+        )
         if mode is not ReuseMode.NONE:
             self.clock.advance(self.config.cpu.trace_overhead_s, HOST)
             self.stats.inc(LINEAGE_TRACED)
         return item
 
     def _probe_enabled(self, mode: ReuseMode) -> bool:
+        """Whether REUSE probes run in ``mode`` (ablation axis, §6.2)."""
         return mode in (
             ReuseMode.PROBE_ONLY, ReuseMode.FULL,
             ReuseMode.LOCAL_ONLY, ReuseMode.OPERATOR_ONLY,
         )
 
     def _put_enabled(self, mode: ReuseMode) -> bool:
+        """Whether PUT admission runs in ``mode`` (ablation axis, §6.2)."""
         return mode in (
             ReuseMode.FULL, ReuseMode.LOCAL_ONLY, ReuseMode.OPERATOR_ONLY,
         )
 
     def _probe(self, hop: Hop, item: LineageItem) -> Optional[CacheEntry]:
+        """REUSE probe (§4.1): look the lineage key up in the cache.
+
+        Charges the constant probe overhead to the host timeline;
+        interned keys make the dictionary lookup an identity comparison
+        for re-traced instructions.
+        """
         self.clock.advance(self.config.cpu.probe_overhead_s, HOST)
         return self.cache.probe(item)
 
@@ -283,6 +298,12 @@ class Interpreter:
         self.stats.inc(INSTRUCTIONS_SKIPPED)
 
     def _put(self, hop: Hop, slot: Slot) -> None:
+        """PUT stage (§4.2): offer every backend payload to the cache.
+
+        Admission is the cache's call (delayed caching / compensation
+        weights); LOCAL_ONLY mode (the LIMA baseline) stores only
+        driver-local values and skips the multi-backend entries.
+        """
         mode = self.config.reuse_mode
         if mode is ReuseMode.LOCAL_ONLY and hop.placement != BACKEND_CP:
             return
@@ -310,6 +331,13 @@ class Interpreter:
     # ------------------------------------------------------------------- data leaves
 
     def _data_slot(self, hop: Hop) -> Slot:
+        """Bind a data leaf: reuse the handle's lineage + payloads.
+
+        Keeping the lineage item stable across program blocks is what
+        makes cross-block reuse work (§3.2: leaves anchor DAG
+        equality); payload dictionaries are shared so later blocks see
+        exchanges (collect, H2D) performed by earlier ones.
+        """
         if hop.bundle is not None:
             lineage, payloads = hop.bundle
         else:
@@ -399,6 +427,7 @@ class Interpreter:
                        1.0, delay_factor=1)
 
     def _to_dm(self, slot: Slot, name: str = "in") -> DistributedMatrix:
+        """Materialize a slot on the cluster (parallelize if CP-only)."""
         if slot.fused_from is not None:
             return self._to_dm(slot.fused_from, name)
         if BACKEND_SP in slot.payloads:
@@ -409,6 +438,7 @@ class Interpreter:
         return dm
 
     def _to_bc(self, slot: Slot) -> Broadcast:
+        """Broadcast a slot's value to all executors (§5.1 operand path)."""
         if slot.broadcast is not None and not slot.broadcast.destroyed:
             return slot.broadcast
         value = self._to_cp(slot)
@@ -423,6 +453,7 @@ class Interpreter:
         return slot.broadcast
 
     def _to_gpu(self, slot: Slot, gpu_created: list[GpuData]) -> GpuData:
+        """Materialize a slot on the device (H2D through the pool, §4.3)."""
         payload = slot.payloads.get(BACKEND_GPU)
         if payload is not None and not payload.ptr.freed:
             return payload
@@ -437,12 +468,35 @@ class Interpreter:
     # -------------------------------------------------------------------- CPU / GPU
 
     def _exec_cpu(self, hop: Hop, slot: Slot, in_slots: list[Slot]) -> None:
-        values = [self._to_cp(s) for s in in_slots]
+        """EXECUTE on the driver (Table 2, CP operators).
+
+        Inputs are materialized driver-side first (collect / D2H /
+        future wait), so a CP instruction doubles as the paper's
+        synchronization point for asynchronous Spark/GPU producers.
+        """
+        values = []
+        append = values.append
+        for s in in_slots:
+            # inline _to_cp's already-local fast path (the overwhelmingly
+            # common case for CP-placed chains)
+            if s.fused_from is None:
+                v = s.payloads.get(BACKEND_CP)
+                if v is not None:
+                    append(v)
+                    continue
+            append(self._to_cp(s))
         out = self.session.cpu.execute(hop.opcode, values, hop.attrs)
         slot.payloads[BACKEND_CP] = out
 
     def _exec_gpu(self, hop: Hop, slot: Slot, in_slots: list[Slot],
                   gpu_created: list[GpuData]) -> None:
+        """EXECUTE on the device (§4.3): H2D uploads + kernel launch.
+
+        Scalars stay host-side (kernel launch parameters); matrix
+        inputs are uploaded through the memory manager, and every
+        acquired pointer is recorded for end-of-run release (Fig. 8(b)
+        reference workflow).
+        """
         gpu_inputs: list[object] = []
         for s in in_slots:
             cp = s.payloads.get(BACKEND_CP)
@@ -463,6 +517,13 @@ class Interpreter:
     # ------------------------------------------------------------------------ Spark
 
     def _exec_spark(self, hop: Hop, slot: Slot, in_slots: list[Slot]) -> None:
+        """EXECUTE on the cluster (§4.2/§5): pick the physical operator.
+
+        Mirrors SystemDS's Spark instruction set: element-wise ops
+        choose zip / broadcast / scalar variants by operand shape,
+        aggregates run as (possibly asynchronous) actions, and matmuls
+        go through :meth:`_exec_spark_matmul`'s pattern selection.
+        """
         sb = self.session.spark
         op = hop.opcode
 
@@ -641,6 +702,12 @@ class Interpreter:
 
     def _exec_spark_matmul(self, hop: Hop, slot: Slot,
                            in_slots: list[Slot]) -> None:
+        """Distributed matmul via SystemDS's physical patterns.
+
+        ``tsmm`` (transpose-self, fused), ``cpmm`` (cross-product),
+        ``mapmm``/``bcmm`` (broadcast-side) — selection logic lives in
+        :func:`repro.runtime.placement.matmul_pattern`.
+        """
         sb = self.session.spark
         pattern = matmul_pattern(hop, self.config)
         left, right = hop.inputs
@@ -669,6 +736,7 @@ class Interpreter:
             )
 
     def _scalar_of(self, slot: Slot) -> float:
+        """Driver-side python float of a 1x1 value (scalar operands)."""
         value = self._to_cp(slot)
         if isinstance(value, ScalarValue):
             return value.as_float()

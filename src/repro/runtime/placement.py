@@ -6,6 +6,15 @@ Spark instructions; compute-intensive dense operations are placed on the
 GPU when enabled; everything else runs on the local CPU — all in a
 data-locality-aware manner (inputs already resident on a backend pull
 their consumers toward it).
+
+Placement runs first in the compile pipeline
+(:meth:`repro.core.session.Session._compile`): the backend tag decides
+which EXECUTE stage the dispatch loop takes per instruction (paper
+Fig. 4), which probes the REUSE step may issue in ``LOCAL_ONLY`` mode
+(§4.1 — LIMA probes only CP instructions), and which rewrites apply
+downstream (prefetch/broadcast §5.1 and checkpoints §5.2 only concern
+Spark-placed subgraphs).  The whole pass is a single walk over the
+shared post-order node list — see docs/PERFORMANCE.md.
 """
 
 from __future__ import annotations
@@ -78,23 +87,37 @@ def matmul_pattern(hop: Hop, config: MemphisConfig) -> str | None:
     return _matmul_pattern(hop, config)
 
 
-def assign_placements(roots: list[Hop], config: MemphisConfig) -> None:
-    """Annotate every hop reachable from ``roots`` with a backend tag."""
+def assign_placements(roots: list[Hop], config: MemphisConfig,
+                      nodes: list[Hop] | None = None) -> None:
+    """Annotate every hop reachable from ``roots`` with a backend tag.
+
+    ``nodes`` optionally supplies a precomputed post-order traversal
+    (inputs before consumers — placement is locality-aware, so inputs
+    must be tagged first) so the compile pipeline walks the DAG once.
+    """
     op_mem = config.cpu.operation_memory_bytes
-    for root in roots:
-        for hop in root.iter_dag():
-            if hop.placement is not None:
-                continue
-            if hop.kind == KIND_LITERAL:
-                hop.placement = BACKEND_CP
-                continue
-            if hop.kind == KIND_DATA:
-                hop.placement = _data_location(hop)
-                continue
-            hop.placement = _place_op(hop, config, op_mem)
+    if nodes is None:
+        nodes = [hop for root in roots for hop in root.iter_dag()]
+    for hop in nodes:
+        if hop.placement is not None:
+            continue
+        if hop.kind == KIND_LITERAL:
+            hop.placement = BACKEND_CP
+            continue
+        if hop.kind == KIND_DATA:
+            hop.placement = _data_location(hop)
+            continue
+        hop.placement = _place_op(hop, config, op_mem)
 
 
 def _data_location(hop: Hop) -> str:
+    """Where a data hop's payload already lives (locality, §2.1).
+
+    Iteratively updated variables carry materialized payloads from the
+    previous ``compute()``; preferring their resident backend (Spark
+    over GPU over CP) is what pulls a steady-state training loop onto
+    one backend instead of bouncing transfers every iteration.
+    """
     handle = hop.handle
     if handle is not None and handle.payloads:
         for backend in (BACKEND_SP, BACKEND_GPU, BACKEND_CP):
@@ -104,6 +127,14 @@ def _data_location(hop: Hop) -> str:
 
 
 def _place_op(hop: Hop, config: MemphisConfig, op_mem: int) -> str:
+    """SystemDS-style backend choice for one operation hop (§2.1).
+
+    Precedence: scalars stay on the driver; Spark wins when the memory
+    estimate exceeds the operation budget or distributed inputs make
+    collecting more expensive than staying out; the GPU takes dense
+    compute-heavy ops above ``gpu.min_cells``; CP is the default.  The
+    caller guarantees inputs are already tagged (post-order).
+    """
     if hop.shape == (1, 1) and all(h.shape == (1, 1) for h in hop.inputs):
         # pure scalar arithmetic always runs on the driver
         return BACKEND_CP

@@ -43,7 +43,8 @@ class MatrixValue:
     @property
     def nbytes(self) -> int:
         """Worst-case dense size (used as ``s(o)`` by eviction policies)."""
-        return self.nrow * self.ncol * DOUBLE_BYTES
+        shape = self.data.shape
+        return shape[0] * shape[1] * DOUBLE_BYTES
 
     def copy(self) -> "MatrixValue":
         return MatrixValue(self.data.copy())
