@@ -2,6 +2,12 @@
 """Run the static IR verifier over the quickstart example and every
 registered workload, failing on any error-severity diagnostic.
 
+Every sweep also runs under the static memory planner
+(``repro.analysis.memplan``): each session's per-region predicted peak
+must be an upper bound on the runtime's observed ``peak_used``
+watermark, and a bound violation fails the gate like an error
+diagnostic would.
+
 This is the repository's self-lint gate (run by
 ``.github/workflows/lint.yml``): the analyzer must report zero errors
 over all programs the repo itself compiles.
@@ -23,7 +29,7 @@ sys.path.insert(0, os.path.join(REPO, "examples"))
 import numpy as np  # noqa: E402
 
 from repro import MemphisConfig, Session  # noqa: E402
-from repro.analysis import collecting  # noqa: E402
+from repro.analysis import collecting, planning  # noqa: E402
 from repro.analysis.targets import TARGETS  # noqa: E402
 
 
@@ -43,22 +49,34 @@ def main() -> int:
     sweeps += [(name, thunk) for name, (_, thunk) in TARGETS.items()]
 
     failed = 0
+    bound_violations = 0
     for name, thunk in sweeps:
-        with collecting() as collector:
+        with collecting() as collector, planning() as memplan:
             thunk()
         report = collector.merged()
         errors = report.errors()
+        bad_bounds = [(label, region, pred, obs)
+                      for label, region, pred, obs, ok
+                      in memplan.check_bounds() if not ok]
         status = f"{len(errors)} error(s)" if errors else "clean"
+        if bad_bounds:
+            status += f", {len(bad_bounds)} memplan bound violation(s)"
         print(f"{name:12s} {collector.blocks_verified:5d} block(s)  "
               f"[{report.summary()}] -> {status}")
         for diag in errors:
             print("   " + diag.format().replace("\n", "\n   "))
+        for label, region, pred, obs in bad_bounds:
+            print(f"   memplan: session {label} region {region}: "
+                  f"predicted peak {pred} B < observed {obs} B")
         failed += len(errors)
+        bound_violations += len(bad_bounds)
 
-    if failed:
-        print(f"FAIL: {failed} error-severity diagnostic(s)")
+    if failed or bound_violations:
+        print(f"FAIL: {failed} error-severity diagnostic(s), "
+              f"{bound_violations} memplan bound violation(s)")
         return 1
-    print(f"OK: {len(sweeps)} program(s) verified, zero errors")
+    print(f"OK: {len(sweeps)} program(s) verified, zero errors, "
+          "all memory-plan bounds hold")
     return 0
 
 

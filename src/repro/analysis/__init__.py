@@ -46,26 +46,53 @@ from repro.analysis.manager import (
     check_linearization,
     verify_ir,
 )
+from repro.analysis.memplan import (
+    BlockMemPlan,
+    MemplanCollector,
+    SessionMemPlanner,
+    SpillPoint,
+    current_memplan_collector,
+    format_footprint_table,
+    format_region_peaks,
+    install_memplan_collector,
+    plan_block,
+    plan_diagnostics,
+    planning,
+    schedule_gpu_spills,
+    uninstall_memplan_collector,
+)
 
 __all__ = [
     "AnalysisCollector",
     "AnalysisContext",
     "AnalysisPass",
+    "BlockMemPlan",
     "DEFAULT_PASS_ORDER",
     "Diagnostic",
     "DiagnosticReport",
+    "MemplanCollector",
     "PassManager",
+    "SessionMemPlanner",
     "Severity",
+    "SpillPoint",
     "StreamDefUse",
     "analyze",
     "check_linearization",
     "collecting",
     "consumers_of",
     "current_collector",
+    "current_memplan_collector",
+    "format_footprint_table",
+    "format_region_peaks",
     "install_collector",
+    "install_memplan_collector",
+    "plan_block",
+    "plan_diagnostics",
+    "planning",
     "register_pass",
     "registered_passes",
-    "uninstall_collector",
+    "schedule_gpu_spills",
+    "uninstall_memplan_collector",
     "verify_ir",
     "walk_dag",
 ]

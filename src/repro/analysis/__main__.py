@@ -46,6 +46,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--format", default="text",
                         choices=["text", "json"],
                         help="output format (default: text)")
+    parser.add_argument("--memplan", action="store_true",
+                        help="also run the static memory planner over "
+                             "every session each target creates and "
+                             "print its per-region predicted-vs-"
+                             "observed peak table")
     args = parser.parse_args(argv)
 
     if args.list_passes:
@@ -76,12 +81,19 @@ def main(argv: list[str] | None = None) -> int:
     total_errors = 0
     for name, thunk in selected.items():
         start = time.perf_counter()
+        memplan = None
         with collecting() as collector:
-            thunk()
+            if args.memplan:
+                from repro.analysis.memplan import planning
+
+                with planning() as memplan:
+                    thunk()
+            else:
+                thunk()
         elapsed = time.perf_counter() - start
         report = collector.merged()
         total_errors += len(report.errors())
-        results.append((name, collector, report, elapsed))
+        results.append((name, collector, report, elapsed, memplan))
 
     if args.format == "json":
         payload = {
@@ -90,16 +102,21 @@ def main(argv: list[str] | None = None) -> int:
                     "blocks_verified": collector.blocks_verified,
                     "counts": report.counts(),
                     "diagnostics": [d.to_json() for d in report],
+                    **({"memplan": [
+                        {"session": label, "region": region,
+                         "predicted": pred, "observed": obs, "ok": ok}
+                        for label, region, pred, obs, ok
+                        in memplan.check_bounds()
+                    ]} if memplan is not None else {}),
                 }
-                for name, collector, report, _ in results
+                for name, collector, report, _, memplan in results
             },
             "total_errors": total_errors,
         }
         print(json.dumps(payload, indent=2))
         return 1 if total_errors else 0
 
-    for name, collector, report, elapsed in results:
-        counts = report.counts()
+    for name, collector, report, elapsed, memplan in results:
         print(f"== {name}: {collector.blocks_verified} block(s) verified "
               f"in {elapsed:.2f}s -- {report.summary()}")
         shown = report.format(min_severity=min_sev)
@@ -109,8 +126,17 @@ def main(argv: list[str] | None = None) -> int:
         if hidden:
             print(f"   ({hidden} finding(s) below "
                   f"{min_sev.label!r} hidden; use --min-severity info)")
+        if memplan is not None:
+            from repro.analysis.memplan import format_region_peaks
+
+            for label, planner in memplan.planners():
+                peaks = format_region_peaks(planner.predicted,
+                                            planner.observed,
+                                            planner.budgets)
+                print(f"   session {label} ({planner.blocks} block(s)) "
+                      + peaks.replace("\n", "\n   "))
     print(f"-- {len(results)} target(s), "
-          f"{sum(c for _, _, r, _ in results for c in [len(r)])} "
+          f"{sum(c for _, _, r, _, _ in results for c in [len(r)])} "
           f"finding(s), {total_errors} error(s)")
     return 1 if total_errors else 0
 

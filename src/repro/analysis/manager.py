@@ -15,6 +15,7 @@ from typing import Iterable, Optional, Sequence
 
 # importing the rule modules populates the pass registry
 import repro.analysis.dag_rules  # noqa: F401
+import repro.analysis.memplan  # noqa: F401
 import repro.analysis.stream_rules  # noqa: F401
 from repro.analysis.base import (
     AnalysisContext,
@@ -36,6 +37,7 @@ DEFAULT_PASS_ORDER = (
     "liveness-leak",
     "async-race",
     "lineage-determinism",
+    "memory-plan",
 )
 
 #: stats counters bumped by :func:`verify_ir`.

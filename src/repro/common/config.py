@@ -259,6 +259,28 @@ class MemphisConfig:
     #: :class:`~repro.common.errors.VerificationError` on any
     #: error-severity diagnostic before executing the stream.
     verify_ir: bool = False
+    #: static memory planning (``repro.analysis.memplan``): when True
+    #: every compiled block's per-region peak footprint is derived at
+    #: compile time, bulk-reserved through
+    #: ``MemoryArbiter.reserve_plan`` before execution (cancelled if
+    #: verification fails), and compared against the observed
+    #: ``MemoryRegion.peak_used`` watermarks.  Planning never changes
+    #: results — only reservations, diagnostics, and (see
+    #: ``memplan_spills``) pre-scheduled spills that avert device OOM.
+    memplan: bool = False
+    #: when True (with ``memplan``), a block whose plan carries
+    #: MEM-family *error* diagnostics is rejected before execution with
+    #: :class:`~repro.common.errors.VerificationError`, independent of
+    #: ``verify_ir`` (compile-time admission control).
+    memplan_enforce: bool = False
+    #: whether the planner may schedule compile-time spill points for
+    #: blocks whose execution-region liveness peak exceeds capacity
+    #: (paper: "Memory Safe Computations with XLA", PAPERS.md).  When
+    #: True such blocks are *feasible* (MEM002 downgrades to a warning
+    #: carrying the spill schedule, and the interpreter executes the
+    #: scheduled device-to-host spills); when False they are infeasible
+    #: and MEM002 is an error.
+    memplan_spills: bool = True
     #: fault injection (``repro.faults``): a ``FaultPlan`` scheduling
     #: deterministic failures (task loss, GPU alloc failure, federated
     #: timeouts, spill I/O errors, ...) that the recovery machinery must

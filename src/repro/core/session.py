@@ -29,17 +29,26 @@ import numpy as np
 
 from repro.analysis.hook import current_collector as current_analysis_collector
 from repro.analysis.manager import verify_ir
+from repro.analysis.memplan import (
+    SessionMemPlanner,
+    current_memplan_collector,
+    format_footprint_table,
+    format_region_peaks,
+    plan_block,
+    plan_diagnostics,
+)
 from repro.backends.cpu.backend import CpuBackend
 from repro.backends.gpu.backend import GpuBackend, GpuData
 from repro.backends.gpu.memmanager import MODE_MALLOC, MODE_MEMPHIS, MODE_POOL
 from repro.backends.spark.backend import SparkBackend
 from repro.backends.spark.context import SparkContext
 from repro.common.config import MemphisConfig, ReuseMode
-from repro.common.errors import RecomputationError
+from repro.common.errors import RecomputationError, VerificationError
 from repro.common.simclock import HOST, SimClock
 from repro.common.stats import (
     EVICT_INSTRUCTIONS,
     FUNC_HITS,
+    MEMPLAN_BLOCKS_PLANNED,
     Stats,
 )
 from repro.compiler.ir import (
@@ -194,6 +203,18 @@ class Session:
         self._verify_ir = bool(
             self.config.verify_ir or self.ir_collector is not None
         )
+        # static memory planning (repro.analysis.memplan): the config
+        # flag or an ambient MemplanCollector (python -m repro.analysis
+        # --memplan) activates a per-session planner that predicts each
+        # block's per-region peak, bulk-reserves it via reserve_plan,
+        # and records observed watermarks for predicted-vs-observed
+        # comparison.  None keeps evaluate's planning cost at one check.
+        self.memplan_collector = current_memplan_collector()
+        self.memplanner: Optional[SessionMemPlanner] = None
+        if self.config.memplan or self.memplan_collector is not None:
+            self.memplanner = SessionMemPlanner(self.config)
+            if self.memplan_collector is not None:
+                self.memplan_collector.register(self, self.memplanner)
 
     def _gpu_mode(self) -> str:
         if self.config.gpu_memory_mode is not None:
@@ -379,17 +400,48 @@ class Session:
         _, root_hops, order, extra = compiled
         if self.explain_collector is not None:
             self.explain_collector.capture(root_hops, order, self.config)
-        if self._verify_ir:
-            # static verification gate: runs the repro.analysis pass
-            # pipeline over the post-rewrite DAG + proposed order before
-            # anything executes; raises on errors iff config.verify_ir
-            verify_ir(
-                root_hops, order, self.config,
-                tracer=self.tracer, stats=self.stats,
-                collector=self.ir_collector,
-                raise_on_error=self.config.verify_ir,
-            )
-        env = self.interpreter.run(order)
+        # static memory planning (repro.analysis.memplan): derive the
+        # block's per-region peak footprint and bulk-reserve it before
+        # verification; a failed verification cancels the reservation.
+        plan = None
+        reservation = None
+        if self.memplanner is not None:
+            plan = self.memplanner.plan(root_hops, order)
+            self.stats.inc(MEMPLAN_BLOCKS_PLANNED)
+            reservation = self.arbiter.reserve_plan(plan.admission_demands())
+        try:
+            if self._verify_ir:
+                # static verification gate: runs the repro.analysis pass
+                # pipeline over the post-rewrite DAG + proposed order
+                # before anything executes; raises iff config.verify_ir
+                verify_ir(
+                    root_hops, order, self.config,
+                    tracer=self.tracer, stats=self.stats,
+                    collector=self.ir_collector,
+                    raise_on_error=self.config.verify_ir,
+                )
+            if (plan is not None and self.config.memplan_enforce
+                    and plan.errors):
+                # compile-time admission control: an over-budget plan
+                # with no feasible spill schedule never starts executing
+                raise VerificationError(
+                    "memory plan rejected: "
+                    + "; ".join(d.format() for d in plan.errors)
+                )
+        except Exception:
+            if reservation is not None:
+                reservation.cancel()
+            raise
+        if reservation is not None:
+            # verified: admit the plan.  Commit drops the bulk holds —
+            # execution charges the ledgers instruction by instruction.
+            reservation.commit()
+        planned_spills = None
+        if plan is not None and self.config.memplan_spills:
+            spill_map = plan.executable_spills()
+            if spill_map:
+                planned_spills = spill_map
+        env = self.interpreter.run(order, planned_spills=planned_spills)
         for hop in order:
             if hop.kind != KIND_OP:
                 continue
@@ -409,6 +461,10 @@ class Session:
             for extra_handle in extra.get(hop.id, ()):  # CSE-merged handles
                 self._rebind(extra_handle, slot)
         self.interpreter.release_acquired()
+        if self.memplanner is not None:
+            # record the runtime's per-region peak watermarks so the
+            # static prediction stays comparable (explain / --memplan)
+            self.memplanner.observe(self.arbiter)
         if self.metrics.enabled:
             # end-of-block sample: even tiny blocks (fewer instructions
             # than the sampling interval) contribute one point per series
@@ -770,11 +826,47 @@ class Session:
             diagnostics = None
             if self.ir_collector is not None:
                 diagnostics = self.ir_collector.merged()
-            return render_plan(plan, level, diagnostics)
+            rendered = render_plan(plan, level, diagnostics)
+            if level != "hops":
+                rendered += "\n\n" + self._explain_memory(root_hops, order)
+            return rendered
         if self.explain_collector is None:
             return ("(explain capture is off: pass handles, or create the "
                     "session with MemphisConfig(explain_capture=True))")
-        return self.explain_collector.render(level)
+        rendered = self.explain_collector.render(level)
+        if level != "hops":
+            rendered += "\n\n" + self._explain_memory(None, None)
+        return rendered
+
+    def _explain_memory(self, root_hops, order) -> str:
+        """Static footprint table + observed region watermarks.
+
+        The ``runtime``/``full`` explain levels append (a) the static
+        memory plan of the block being explained (per-hop / per-region
+        charges, ``repro.analysis.memplan``) and (b) the session's
+        observed ``MemoryRegion.peak_used`` watermarks, so predicted
+        vs observed peaks are comparable in one place.
+        """
+        sections: list[str] = []
+        if root_hops is not None and order is not None:
+            block_plan = plan_block(root_hops, order, self.config)
+            plan_diagnostics(block_plan, self.config)
+            sections.append(format_footprint_table(block_plan))
+        observed = {
+            snap["region"]: int(snap["peak_used"])
+            for snap in self.arbiter.snapshot()
+        }
+        predicted = (self.memplanner.predicted
+                     if self.memplanner is not None else None)
+        budgets = (self.memplanner.budgets
+                   if self.memplanner is not None else None)
+        sections.append(
+            "memory regions (observed peak watermarks"
+            + (" vs session prediction" if self.memplanner is not None
+               else "") + "):\n"
+            + format_region_peaks(predicted, observed, budgets)
+        )
+        return "\n\n".join(sections)
 
     def elapsed(self) -> float:
         """Simulated end-to-end time (host timeline)."""

@@ -50,7 +50,11 @@ def reset_ambient_state() -> None:
     uninstall_explain()
     uninstall_plan()
     try:
-        from repro.analysis import uninstall_collector
+        from repro.analysis import (
+            uninstall_collector,
+            uninstall_memplan_collector,
+        )
     except ImportError:  # pragma: no cover - analysis is part of the tree
         return
     uninstall_collector()
+    uninstall_memplan_collector()

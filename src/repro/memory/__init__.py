@@ -16,7 +16,8 @@ cross-region pressure callbacks, the spill-vs-drop cost decision, and
 delayed caching as an admission policy (§5.2).
 """
 
-from repro.memory.arbiter import MemoryArbiter
+from repro.memory.arbiter import MemoryArbiter, PlanReservation
+from repro.memory.budget import RegionBudget, region_capacities
 from repro.memory.protocols import Evictable, Spillable
 from repro.memory.region import MemoryRegion
 
@@ -31,6 +32,9 @@ REGION_GPU = "GPU"  #: device memory under the unified GPU manager.
 __all__ = [
     "MemoryArbiter",
     "MemoryRegion",
+    "PlanReservation",
+    "RegionBudget",
+    "region_capacities",
     "Evictable",
     "Spillable",
     "REGION_CP",

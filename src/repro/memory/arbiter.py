@@ -33,6 +33,8 @@ from repro.common.stats import (
     FAULT_RESTORE_IO_ERRORS,
     FAULT_SPILL_IO_ERRORS,
     MEM_EVICTIONS,
+    MEM_PLAN_RESERVE_FAILURES,
+    MEM_PLAN_RESERVES,
     MEM_PRESSURE_EVENTS,
     MEM_RESERVE_FAILURES,
     MEM_RESERVES,
@@ -46,6 +48,7 @@ from repro.faults.plan import KIND_RESTORE_IO, KIND_SPILL_IO
 from repro.memory.region import MemoryRegion
 from repro.obs.events import (
     EV_MEM_EVICT,
+    EV_MEM_PLAN_RESERVE,
     EV_MEM_PRESSURE,
     EV_MEM_RESERVE,
     EV_MEM_RESTORE,
@@ -53,6 +56,50 @@ from repro.obs.events import (
     LANE_CP,
 )
 from repro.obs.tracer import NULL_TRACER
+
+
+class PlanReservation:
+    """Outstanding holds of one :meth:`MemoryArbiter.reserve_plan` call.
+
+    The holds sit in each region's ``reserved`` counter until the plan
+    is either committed (the block was verified and will execute) or
+    cancelled (verification failed / the caller bailed out).  Committing
+    *releases* the holds rather than converting them to ``used``: the
+    managers charge their own usage instruction by instruction during
+    execution, so keeping the bulk hold would double-count every byte.
+    The reservation therefore guarantees *admissibility at block start*
+    — the substrate a multi-tenant server needs for admission control —
+    while leaving the instruction-level ledger accounting untouched.
+    """
+
+    __slots__ = ("arbiter", "holds", "settled")
+
+    def __init__(self, arbiter: "MemoryArbiter",
+                 holds: dict[str, int]) -> None:
+        self.arbiter = arbiter
+        #: region name -> bytes currently held in ``reserved``.
+        self.holds = holds
+        self.settled = False
+
+    @property
+    def total(self) -> int:
+        return sum(self.holds.values())
+
+    def commit(self) -> None:
+        """Admit the plan: drop the holds, execution charges for itself."""
+        self._drop()
+
+    def cancel(self) -> None:
+        """Abandon the plan (verification failed): drop the holds."""
+        self._drop()
+
+    def _drop(self) -> None:
+        if self.settled:
+            return
+        self.settled = True
+        for name, size in self.holds.items():
+            if size:
+                self.arbiter.cancel(name, size)
 
 
 class _SpillModel:
@@ -166,6 +213,68 @@ class MemoryArbiter:
         region.reserve(size)
         self.stats.inc(MEM_RESERVES)
         return True
+
+    def reserve_plan(self, demands: dict[str, int], *,
+                     strict: bool = False) -> Optional[PlanReservation]:
+        """Two-phase bulk reservation of a static plan's peak footprint.
+
+        ``demands`` maps region names to the statically predicted peak
+        bytes the block will put through each region (see
+        ``repro.analysis.memplan``).  For every *registered, bounded*
+        region the arbiter holds ``min(demand, capacity) - used -
+        reserved`` bytes (never less than zero): the part of the
+        predicted peak not already backed by resident or reserved data.
+        Unlimited regions and unknown region names are skipped — there
+        is nothing to admit against.
+
+        All-or-nothing: if any region cannot take its hold, the partial
+        holds are rolled back and ``None`` is returned.  In the default
+        (lenient) mode a hold is always grantable because it is clamped
+        to the region's remaining headroom — the call then serves as an
+        accounting point (``memory/plan_reserves``) and a handle for the
+        commit/cancel protocol.  With ``strict=True`` the *unclamped*
+        residual demand must fit under ``capacity - pinned``; a block
+        whose predicted peak cannot fit even after evicting every
+        unpinned byte is refused up front.  Multi-tenant admission
+        control (ROADMAP item 1) layers on the strict mode.
+
+        The caller must settle the returned :class:`PlanReservation`
+        via ``commit()`` (verified, about to execute) or ``cancel()``
+        (verification failed) — both drop the holds; see
+        :class:`PlanReservation` for why commit does not convert them
+        to ``used``.
+        """
+        holds: dict[str, int] = {}
+        for name, demand in demands.items():
+            region = self._regions.get(name)
+            if region is None or region.unlimited or demand <= 0:
+                continue
+            bounded = min(demand, region.capacity)
+            need = bounded - region.used - region.reserved
+            if strict:
+                residual = max(demand - region.used, 0)
+                if residual > region.capacity - region.pinned:
+                    for held, size in holds.items():
+                        self.cancel(held, size)
+                    self.stats.inc(MEM_PLAN_RESERVE_FAILURES)
+                    if self.tracer.enabled:
+                        self.tracer.instant(
+                            EV_MEM_PLAN_RESERVE, LANE_CP, region=name,
+                            nbytes=demand, ok=False,
+                        )
+                    return None
+            if need <= 0:
+                continue
+            region.reserve(need)
+            holds[name] = need
+        self.stats.inc(MEM_PLAN_RESERVES)
+        if self.tracer.enabled:
+            self.tracer.instant(
+                EV_MEM_PLAN_RESERVE, LANE_CP,
+                regions=",".join(sorted(holds)) or "-",
+                nbytes=sum(holds.values()), ok=True,
+            )
+        return PlanReservation(self, holds)
 
     def ensure_space(self, name: str, size: int, *,
                      candidates: Optional[Callable[[], Sequence]] = None,

@@ -104,6 +104,12 @@ EV_MEM_SPILL = "memory/spill"
 EV_MEM_RESTORE = "memory/restore"
 #: instant — cross-region pressure callbacks fired for a region.
 EV_MEM_PRESSURE = "memory/pressure"
+#: instant — a static plan's footprint was bulk-reserved (args:
+#: regions, nbytes, ok; see ``MemoryArbiter.reserve_plan``).
+EV_MEM_PLAN_RESERVE = "memory/plan_reserve"
+#: instant — the interpreter executed a pre-scheduled spill the static
+#: memory planner computed at compile time (args: region, hop, nbytes).
+EV_MEMPLAN_SPILL = "memplan/spill"
 
 #: span — one federated request round-trip (submit -> last response).
 EV_FED_REQUEST = "fed/request"

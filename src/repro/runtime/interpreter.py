@@ -54,6 +54,7 @@ from repro.common.stats import (
     FAULT_LINEAGE_RECOMPUTES,
     INSTRUCTIONS_SKIPPED,
     LINEAGE_TRACED,
+    MEMPLAN_SPILLS_EXECUTED,
     PREFETCH_ISSUED,
     BROADCAST_ISSUED,
     SPARK_ACTION_REUSE,
@@ -70,9 +71,11 @@ from repro.lineage.item import LineageItem, dataset, literal
 from repro.obs.events import (
     EV_BROADCAST,
     EV_INSTR,
+    EV_MEMPLAN_SPILL,
     EV_PREFETCH,
     EV_PREFETCH_DONE,
     LANE_CP,
+    LANE_GPU,
 )
 from repro.runtime.dispatch import Slot, _attr_data, select_loop
 from repro.runtime.placement import (
@@ -109,7 +112,9 @@ class Interpreter:
 
     # ------------------------------------------------------------------ top level
 
-    def run(self, order: list[Hop]) -> dict[int, Slot]:
+    def run(self, order: list[Hop],
+            planned_spills: Optional[dict[int, list]] = None
+            ) -> dict[int, Slot]:
         """Execute a linearized instruction stream; returns hop id -> slot.
 
         GPU pointers acquired during the run (allocations, uploads, and
@@ -117,16 +122,71 @@ class Interpreter:
         surviving handles (adding their own references) and then calls
         :meth:`release_acquired` to drop the execution references, moving
         unreferenced pointers to the Free list (Fig. 8(b)).
+
+        ``planned_spills`` maps stream positions to the compile-time
+        spill points the static memory planner scheduled for this block
+        (``repro.analysis.memplan``); each is executed *before* the
+        instruction at its position, freeing device memory a block that
+        over-peaks the GPU budget needs to stay feasible.  ``None`` (the
+        overwhelmingly common case — any block whose plan fits its
+        budgets) keeps the specialized dispatch loops untouched.
         """
         env: dict[int, Slot] = {}
         acquired: list[GpuData] = []
         self._acquired_stack.append(acquired)
+        if planned_spills:
+            self._run_with_spills(order, env, acquired, planned_spills)
+            return env
         # dispatch specialization: pick the fast or instrumented loop
         # once per run instead of re-checking tracer/metrics/faults
         # guards on every instruction (see repro.runtime.dispatch)
         loop = select_loop(self)
         loop(self, order, env, acquired)
         return env
+
+    def _run_with_spills(self, order: list[Hop], env: dict[int, Slot],
+                         acquired: list[GpuData],
+                         planned_spills: dict[int, list]) -> None:
+        """Instrumented-equivalent loop honouring pre-scheduled spills."""
+        tick = self.metrics.enabled
+        for pos, hop in enumerate(order):
+            for spill in planned_spills.get(pos, ()):
+                self._planned_spill(spill, env, acquired)
+            env[hop.id] = self._execute_one(hop, env, acquired)
+            if tick:
+                self.metrics.tick(self.session)
+
+    def _planned_spill(self, spill, env: dict[int, Slot],
+                       acquired: list[GpuData]) -> None:
+        """Execute one compile-time spill point (device-to-host).
+
+        Saves a driver-side copy of the victim's value (free when one
+        already exists), drops the slot's device payload so later
+        consumers re-upload from the host, and returns the execution
+        reference to the free lists, where the allocation cascade
+        (Fig. 8(b)) reclaims the memory.
+        """
+        slot = env.get(spill.victim.id)
+        if slot is None:
+            return
+        data = slot.payloads.get(BACKEND_GPU)
+        if data is None or data.ptr.freed:
+            return
+        self._to_cp(slot)
+        slot.payloads.pop(BACKEND_GPU, None)
+        try:
+            acquired.remove(data)
+        except ValueError:
+            # acquired in an outer run (data-leaf payload): the outer
+            # frame's release will find the pointer already freed
+            pass
+        self.session.gpu.memory.release(data.ptr)
+        self.stats.inc(MEMPLAN_SPILLS_EXECUTED)
+        if self.tracer.enabled:
+            self.tracer.instant(
+                EV_MEMPLAN_SPILL, LANE_GPU, hop=spill.victim.id,
+                opcode=spill.victim.opcode, nbytes=spill.nbytes,
+            )
 
     def release_acquired(self) -> None:
         """Drop the execution references on all GPU pointers of this run."""

@@ -110,6 +110,26 @@ def assign_placements(roots: list[Hop], config: MemphisConfig,
         hop.placement = _place_op(hop, config, op_mem)
 
 
+def gpu_working_set(hop: Hop, alignment: int) -> int:
+    """Device bytes one GPU instruction needs live at once.
+
+    Output allocation plus one upload per non-literal input, each
+    rounded up to the allocator's granularity — the same arithmetic the
+    static memory planner charges (``repro.analysis.memplan`` MEM001).
+    """
+    def aligned(nbytes: int) -> int:
+        if nbytes < alignment:
+            nbytes = alignment
+        rem = nbytes % alignment
+        return nbytes if rem == 0 else nbytes + (alignment - rem)
+
+    total = aligned(hop.output_bytes)
+    for inp in hop.inputs:
+        if inp.kind != KIND_LITERAL:
+            total += aligned(inp.output_bytes)
+    return total
+
+
 def _data_location(hop: Hop) -> str:
     """Where a data hop's payload already lives (locality, §2.1).
 
@@ -158,6 +178,14 @@ def _place_op(hop: Hop, config: MemphisConfig, op_mem: int) -> str:
         and hop.shape[0] * hop.shape[1] >= config.gpu.min_cells
         and hop.memory_estimate <= op_mem
         and not inputs_on_sp
+        # feasibility, not just legality: an instruction whose working
+        # set cannot fit on the device at any schedule (memplan MEM001)
+        # must not be placed there — it falls back to the driver, which
+        # has no fixed execution budget in this runtime.  Never binds at
+        # the default configuration (operation memory << device memory);
+        # matters when experiments shrink gpu.device_memory.
+        and gpu_working_set(hop, config.gpu.alignment)
+        <= config.gpu.device_memory
     ):
         return BACKEND_GPU
     return BACKEND_CP
