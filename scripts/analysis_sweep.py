@@ -12,13 +12,21 @@ This is the repository's self-lint gate (run by
 ``.github/workflows/lint.yml``): the analyzer must report zero errors
 over all programs the repo itself compiles.
 
+With ``--fusion`` the sweep installs the ambient fusion override
+(``repro.common.config.install_fusion_override``), so every session
+compiles with the reuse-aware fusion rewrite enabled and the FUS rule
+family (``repro.analysis.fusion_rules``) self-lints every fused chain
+the repo's own workloads produce.
+
 Usage::
 
     python scripts/analysis_sweep.py
+    python scripts/analysis_sweep.py --fusion
 """
 
 from __future__ import annotations
 
+import argparse
 import os
 import sys
 
@@ -44,7 +52,33 @@ def sweep_quickstart() -> None:
                 regs=[0.01, 0.1, 1.0])
 
 
-def main() -> int:
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python scripts/analysis_sweep.py",
+        description="Static IR verifier self-lint over all workloads.",
+    )
+    parser.add_argument("--fusion", action="store_true",
+                        help="enable the reuse-aware fusion rewrite on "
+                             "every session so the FUS rules self-lint "
+                             "the fused plans")
+    args = parser.parse_args(argv)
+
+    if args.fusion:
+        from repro.common.config import install_fusion_override
+
+        install_fusion_override(True)
+        print("[compiler: reuse-aware operator fusion enabled]")
+
+    try:
+        return _sweep_all()
+    finally:
+        if args.fusion:
+            from repro.common.config import clear_fusion_override
+
+            clear_fusion_override()
+
+
+def _sweep_all() -> int:
     sweeps = [("quickstart", sweep_quickstart)]
     sweeps += [(name, thunk) for name, (_, thunk) in TARGETS.items()]
 

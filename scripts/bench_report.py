@@ -21,6 +21,7 @@ Usage::
     python scripts/bench_report.py --wallclock \
         --baseline benchmarks/baselines/wallclock_baseline.json
     python scripts/bench_report.py --validate-wallclock BENCH_wallclock.json
+    python scripts/bench_report.py --fusion-gate   # fused-vs-unfused gate
 """
 
 from __future__ import annotations
@@ -56,7 +57,13 @@ FAST_SUBSET = ("fig2c", "fig2d", "fig11a", "fig12b")
 
 
 def run_experiments(names: list[str]) -> list[dict]:
-    """Run each experiment under its own metrics collector."""
+    """Run each experiment under its own metrics collector.
+
+    Records are *not* schema-validated here: validation belongs to the
+    report, not the experiment loop, and runs exactly once in
+    :func:`write_report` no matter how many experiments ran (the
+    ``--fast`` path used to pay it per experiment).
+    """
     records = []
     for name in names:
         collector = MetricsCollector()
@@ -73,6 +80,22 @@ def run_experiments(names: list[str]) -> list[dict]:
               f"wall {wall:.1f}s, {record['workloads']} workload(s), "
               f"{len(record['metric_series'])} metric series]")
     return records
+
+
+def write_report(records: list[dict], out: str) -> int:
+    """Assemble, schema-validate (once), and write the bench report."""
+    doc = build_bench_report(records, issue=ISSUE)
+    problems = validate_bench_report(doc)
+    if problems:
+        for p in problems:
+            print(f"  schema: {p}")
+        print("FAIL: generated report does not validate")
+        return 1
+    with open(out, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"[bench report: {len(records)} experiment(s) -> {out}]")
+    return 0
 
 
 def run_wallclock(fast: bool, out_path: str | None,
@@ -121,6 +144,143 @@ def run_wallclock(fast: bool, out_path: str | None,
     return 0
 
 
+#: gate workloads where fusion must fire: instruction count AND
+#: cpu-allocated bytes must *strictly* drop fused vs unfused.
+FUSION_MUST_DROP = ("cellwise_chain", "matmul_epilogue")
+
+#: gate workloads where the reuse-aware gate must refuse to fuse:
+#: counters must be *identical* fused vs unfused.
+FUSION_MUST_HOLD = ("quickstart_reuse", "fig11b_reuse")
+
+
+def _fusion_gate_workloads() -> dict:
+    """Deterministic sim-counter workloads for the fusion gate.
+
+    Each thunk builds its own sessions (so the ambient fusion override
+    set by the caller lands in ``MemphisConfig.__post_init__``) and
+    returns ``{counter_name: value}``.
+    """
+    import numpy as np
+
+    from repro.common.config import MemphisConfig, ReuseMode
+    from repro.common.stats import CPU_BYTES_ALLOCATED, INSTRUCTIONS_EXECUTED
+    from repro.core.session import Session
+    from repro.workloads.micro import run_reuse_overhead
+
+    def _counters(session):
+        return {
+            INSTRUCTIONS_EXECUTED:
+                session.stats.get(INSTRUCTIONS_EXECUTED),
+            CPU_BYTES_ALLOCATED:
+                session.stats.get(CPU_BYTES_ALLOCATED),
+        }
+
+    def cellwise_chain():
+        # the wall-clock track's cell-wise pipeline (ReuseMode.NONE):
+        # the maximal *,+,sigmoid,*,relu run must fuse to 1 instruction
+        config = MemphisConfig.memphis()
+        config.reuse_mode = ReuseMode.NONE
+        session = Session(config)
+        data = (np.arange(64.0 * 64).reshape(64, 64) % 23.0) / 23.0 - 0.5
+        X = session.read(data, "X")
+        for _ in range(4):
+            (((X * 2.0) + 1.0).sigmoid() * 0.5).relu().compute()
+        return _counters(session)
+
+    def matmul_epilogue():
+        config = MemphisConfig.memphis()
+        config.reuse_mode = ReuseMode.NONE
+        session = Session(config)
+        rng = np.random.default_rng(3)
+        A = session.read(rng.random((48, 32)), "A")
+        B = session.read(rng.random((32, 16)), "B")
+        ((A @ B) * 0.5).relu().compute()
+        return _counters(session)
+
+    def quickstart_reuse():
+        # full MEMPHIS reuse: every intermediate is a retention
+        # candidate, so the reuse-aware gate must leave the plan alone
+        session = Session(MemphisConfig.memphis())
+        rng = np.random.default_rng(5)
+        X = session.read(rng.random((64, 8)), "X")
+        y = session.read(rng.random((64, 1)), "y")
+        w = session.read(np.zeros((8, 1)), "w")
+        for reg in (0.01, 0.1, 0.01):
+            grad = X.t() @ (X @ w) - X.t() @ y + reg * w
+            (w - 0.002 * grad).compute()
+        return _counters(session)
+
+    def fig11b_reuse():
+        # fig11b's L2SVM reuse-overhead micro under the full reuse
+        # config: instcount must be byte-for-byte unchanged by --fusion
+        result = run_reuse_overhead("Reuse", input_bytes=800,
+                                    iterations=30, reuse_fraction=0.4)
+        return {key: int(result.counters.get(key, 0))
+                for key in (INSTRUCTIONS_EXECUTED, CPU_BYTES_ALLOCATED)}
+
+    return {
+        "cellwise_chain": cellwise_chain,
+        "matmul_epilogue": matmul_epilogue,
+        "quickstart_reuse": quickstart_reuse,
+        "fig11b_reuse": fig11b_reuse,
+    }
+
+
+def run_fusion_gate() -> int:
+    """Fused-vs-unfused instruction-count gate (CI).
+
+    Runs every gate workload twice — baseline, then with the ambient
+    fusion override installed — and compares the sim counters:
+
+    * ``runtime/instructions_executed`` must never rise under fusion;
+    * on :data:`FUSION_MUST_DROP` workloads both the instruction count
+      and ``cpu/bytes_allocated`` must *strictly* drop;
+    * on :data:`FUSION_MUST_HOLD` workloads (reuse modes where the
+      lineage cache retains intermediates) all counters must be
+      identical — the reuse-aware gate refused to fuse.
+    """
+    from repro.common.config import (
+        clear_fusion_override,
+        install_fusion_override,
+    )
+    from repro.common.stats import CPU_BYTES_ALLOCATED, INSTRUCTIONS_EXECUTED
+
+    workloads = _fusion_gate_workloads()
+    failures: list[str] = []
+    for name, thunk in workloads.items():
+        clear_fusion_override()
+        base = thunk()
+        install_fusion_override(True)
+        try:
+            fused = thunk()
+        finally:
+            clear_fusion_override()
+        bi, fi = base[INSTRUCTIONS_EXECUTED], fused[INSTRUCTIONS_EXECUTED]
+        bb, fb = base[CPU_BYTES_ALLOCATED], fused[CPU_BYTES_ALLOCATED]
+        print(f"[{name}: instructions {bi} -> {fi}, "
+              f"cpu bytes {bb} -> {fb}]")
+        if fi > bi:
+            failures.append(f"{name}: instruction count ROSE {bi} -> {fi}")
+        if name in FUSION_MUST_DROP:
+            if not fi < bi:
+                failures.append(f"{name}: instruction count did not "
+                                f"strictly drop ({bi} -> {fi})")
+            if not fb < bb:
+                failures.append(f"{name}: cpu bytes allocated did not "
+                                f"strictly drop ({bb} -> {fb})")
+        if name in FUSION_MUST_HOLD and (bi, bb) != (fi, fb):
+            failures.append(f"{name}: counters changed under a reuse "
+                            f"mode that retains intermediates "
+                            f"({bi},{bb}) -> ({fi},{fb})")
+    if failures:
+        for f in failures:
+            print(f"  gate: {f}")
+        print(f"FAIL: {len(failures)} fusion-gate violation(s)")
+        return 1
+    print(f"OK: fusion gate holds over {len(workloads)} workload(s)")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python scripts/bench_report.py",
@@ -147,7 +307,14 @@ def main(argv: list[str] | None = None) -> int:
                              "items/s drop (default 0.25)")
     parser.add_argument("--validate-wallclock", metavar="PATH", default=None,
                         help="validate an existing wall-clock report and exit")
+    parser.add_argument("--fusion-gate", action="store_true",
+                        help="run the fused-vs-unfused instruction-count "
+                             "gate: instcount must strictly drop on "
+                             "cell-wise chains and never rise elsewhere")
     args = parser.parse_args(argv)
+
+    if args.fusion_gate:
+        return run_fusion_gate()
 
     if args.validate_wallclock is not None:
         with open(args.validate_wallclock, "r", encoding="utf-8") as fh:
@@ -189,20 +356,8 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(f"unknown experiments: {', '.join(unknown)}")
 
     records = run_experiments(selected)
-    doc = build_bench_report(records, issue=ISSUE)
-    problems = validate_bench_report(doc)
-    if problems:
-        for p in problems:
-            print(f"  schema: {p}")
-        print("FAIL: generated report does not validate")
-        return 1
-
     out = args.out or os.path.join(REPO, f"BENCH_{ISSUE}.json")
-    with open(out, "w", encoding="utf-8") as fh:
-        json.dump(doc, fh, indent=2, sort_keys=True)
-        fh.write("\n")
-    print(f"[bench report: {len(records)} experiment(s) -> {out}]")
-    return 0
+    return write_report(records, out)
 
 
 if __name__ == "__main__":

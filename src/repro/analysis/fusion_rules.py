@@ -1,0 +1,180 @@
+"""Fusion-legality analysis pass: the FUS rule family.
+
+Validates every ``FusedHop`` the reuse-aware fusion rewrite
+(``repro.compiler.rewrites.fusion``) spliced into a compiled block.
+Fusion eliminates interior intermediates, so each rule guards one way a
+bad fusion could silently change semantics or forfeit reuse.
+
+Rule catalog (see ``docs/ANALYSIS.md``):
+
+====== ======== ==========================================================
+rule   severity finding
+====== ======== ==========================================================
+FUS001 error    malformed fused node (empty chain, steps/chain mismatch,
+                missing step spec, or a plain hop with opcode ``fused``)
+FUS002 error    fusion crossed a placement boundary (fused node or an
+                absorbed hop placed off-CP)
+FUS003 error    fusion crossed a checkpoint/prefetch/broadcast boundary
+                (an absorbed hop carries an async or persistence flag)
+FUS004 error    fusion absorbed a hop whose lineage key the cache policy
+                wants to retain (reuse-awareness violation)
+FUS005 warning  absorbed interior hop still reachable in the DAG (its
+                value will be materialized twice)
+FUS006 info     single-step fusion with no prologue (no interior is
+                eliminated; the rewrite should not have fired)
+====== ======== ==========================================================
+"""
+
+from __future__ import annotations
+
+from repro.analysis.base import (
+    AnalysisContext,
+    AnalysisPass,
+    register_pass,
+)
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.compiler.ir import KIND_OP, Hop
+from repro.compiler.rewrites.fusion import (
+    FUSED_OPCODE,
+    FusedHop,
+    retention_candidate,
+)
+from repro.core.entry import BACKEND_CP
+
+
+@register_pass
+class FusionLegalityPass(AnalysisPass):
+    """Reuse-aware fusion legality (rules FUS001-FUS006)."""
+
+    name = "fusion-legality"
+    runs_on = "dag"
+
+    def run(self, ctx: AnalysisContext) -> list[Diagnostic]:
+        out: list[Diagnostic] = []
+        reachable = {h.id for h in ctx.nodes}
+        for hop in ctx.nodes:
+            if hop.kind != KIND_OP or hop.opcode != FUSED_OPCODE:
+                continue
+            out.extend(self._check_structure(hop))
+            if not isinstance(hop, FusedHop):
+                continue
+            out.extend(self._check_boundaries(hop, ctx))
+            out.extend(self._check_retention(hop, ctx))
+            out.extend(self._check_interiors(hop, reachable))
+            if len(hop.chain) < 2 and hop.prologue is None:
+                out.append(self.diag(
+                    "FUS006", Severity.INFO,
+                    "single-step fusion with no matmul prologue "
+                    "eliminates no interior intermediate", hop,
+                    hint="plan_fusion requires >= 2 steps (or a "
+                         "prologue); this node was built by hand",
+                ))
+        return out
+
+    def _check_structure(self, hop: Hop) -> list[Diagnostic]:
+        if not isinstance(hop, FusedHop):
+            return [self.diag(
+                "FUS001", Severity.ERROR,
+                "hop with opcode 'fused' is not a FusedHop: the "
+                "interpreter cannot recover its step closures", hop,
+                hint="only the fusion rewrite may emit fused nodes",
+            )]
+        out: list[Diagnostic] = []
+        if not hop.chain or not hop.steps:
+            out.append(self.diag(
+                "FUS001", Severity.ERROR,
+                "fused node with an empty chain or step list", hop,
+            ))
+        elif len(hop.chain) != len(hop.steps):
+            out.append(self.diag(
+                "FUS001", Severity.ERROR,
+                f"fused node has {len(hop.chain)} chain hop(s) but "
+                f"{len(hop.steps)} compiled step(s)", hop,
+            ))
+        if "steps" not in hop.attrs:
+            out.append(self.diag(
+                "FUS001", Severity.ERROR,
+                "fused node carries no 'steps' spec attr: its lineage "
+                "key would collide with unrelated fused chains", hop,
+            ))
+        return out
+
+    def _check_boundaries(self, hop: FusedHop,
+                          ctx: AnalysisContext) -> list[Diagnostic]:
+        out: list[Diagnostic] = []
+        if hop.placement not in (None, BACKEND_CP):
+            out.append(self.diag(
+                "FUS002", Severity.ERROR,
+                f"fused node placed on {hop.placement!r}; fused chains "
+                "are lowered to CompiledStep closures that only the CPU "
+                "backend executes", hop,
+            ))
+        absorbed = list(hop.chain[:-1])
+        if hop.prologue is not None:
+            absorbed.append(hop.prologue)
+        for inner in absorbed:
+            if inner.placement not in (None, BACKEND_CP):
+                out.append(self.diag(
+                    "FUS002", Severity.ERROR,
+                    f"fusion absorbed hop#{inner.id} ({inner.opcode}) "
+                    f"placed on {inner.placement!r}: a placement "
+                    "boundary was fused over", hop,
+                    hint="plan_fusion must stop a chain at the first "
+                         "non-CP producer",
+                ))
+        for inner in [*absorbed, hop.chain[-1]]:
+            if inner.checkpoint or inner.prefetch or inner.async_broadcast:
+                flags = ",".join(
+                    name for name, on in (
+                        ("checkpoint", inner.checkpoint),
+                        ("prefetch", inner.prefetch),
+                        ("broadcast", inner.async_broadcast),
+                    ) if on
+                )
+                out.append(self.diag(
+                    "FUS003", Severity.ERROR,
+                    f"fusion absorbed hop#{inner.id} ({inner.opcode}) "
+                    f"carrying async/persistence flag(s) [{flags}]: the "
+                    "flagged behaviour would silently not execute", hop,
+                ))
+        return out
+
+    def _check_retention(self, hop: FusedHop,
+                         ctx: AnalysisContext) -> list[Diagnostic]:
+        out: list[Diagnostic] = []
+        candidates = list(hop.chain)
+        if hop.prologue is not None:
+            candidates.append(hop.prologue)
+        for inner in candidates:
+            if retention_candidate(inner, ctx.config):
+                out.append(self.diag(
+                    "FUS004", Severity.ERROR,
+                    f"fusion absorbed hop#{inner.id} ({inner.opcode}) "
+                    "whose lineage key the cache policy wants to retain "
+                    f"(reuse mode {ctx.config.reuse_mode.value!r} probes "
+                    "or caches): the fused interior produces no cache "
+                    "entry, forfeiting the reuse the Eq. 2 scoring "
+                    "would have rewarded", hop,
+                    hint="fusion is only sound under reuse modes "
+                         "NONE/TRACE_ONLY; check enable_fusion gating",
+                ))
+        return out
+
+    def _check_interiors(self, hop: FusedHop,
+                         reachable: set[int]) -> list[Diagnostic]:
+        out: list[Diagnostic] = []
+        interiors = list(hop.chain[:-1])
+        if hop.prologue is not None:
+            interiors.append(hop.prologue)
+        for inner in interiors:
+            if inner.id in reachable:
+                out.append(self.diag(
+                    "FUS005", Severity.WARNING,
+                    f"absorbed interior hop#{inner.id} ({inner.opcode}) "
+                    "is still reachable in the DAG: its value is "
+                    "materialized both standalone and inside the fused "
+                    "chain", hop,
+                    hint="an interior with >1 consumer must end the "
+                         "chain, not sit inside it",
+                ))
+        return out

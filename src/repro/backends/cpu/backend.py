@@ -2,12 +2,19 @@
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.backends.cpu import kernels
 from repro.backends.cpu.vectorized import CompiledStep
 from repro.common.config import CpuConfig
 from repro.common.costs import op_flops
 from repro.common.simclock import HOST, SimClock
-from repro.common.stats import INSTRUCTIONS_EXECUTED, Stats
+from repro.common.stats import (
+    CPU_BYTES_ALLOCATED,
+    FUSION_INSTRUCTIONS,
+    INSTRUCTIONS_EXECUTED,
+    Stats,
+)
 from repro.runtime.values import MatrixValue, Value
 
 
@@ -29,6 +36,8 @@ class CpuBackend:
         chain path so both advance the clock with the identical
         ``overhead + max(compute, memory)`` roofline term per
         instruction — a precondition for dispatch-path byte equality.
+        Every charge also accounts the output allocation
+        (``cpu/bytes_allocated``), which is what fused chains reduce.
         """
         cfg = self.config
         flops = op_flops(opcode, in_shapes, out.shape)
@@ -41,6 +50,7 @@ class CpuBackend:
             HOST,
         )
         self.stats.inc(INSTRUCTIONS_EXECUTED)
+        self.stats.inc(CPU_BYTES_ALLOCATED, out.nbytes)
 
     def execute(self, opcode: str, inputs: list[Value], attrs: dict) -> Value:
         """Run one instruction; returns its value and charges host time."""
@@ -77,6 +87,51 @@ class CpuBackend:
             arr = out.data
             in_nbytes = out.nbytes
         return outs
+
+    def execute_fused(self, hop, inputs: list[Value]) -> MatrixValue:
+        """Run one fused chain (``repro.compiler.rewrites.fusion``).
+
+        ``inputs`` are the materialized values of ``hop.inputs`` — the
+        matrix source (or the matmul prologue's two operands) followed by
+        the chain's scalar literals (already baked into the step
+        closures, present only for lineage/cost bookkeeping).
+
+        Unlike :meth:`execute_chain`, interior step outputs are *not*
+        wrapped in :class:`MatrixValue`; each step output feeds the next
+        directly after the same float64 normalization ``MatrixValue``
+        would apply (comparison ufuncs emit bool arrays), so the final
+        value is byte-identical to the unfused chain's tail.  The whole
+        chain is charged as ONE instruction: one interpretation
+        overhead, the summed FLOPs against the roofline, and only the
+        external input plus final output bytes of memory traffic — the
+        fused instruction never materializes interiors.
+        """
+        if hop.prologue is not None:
+            value = kernels.execute(hop.prologue.opcode, inputs[:2],
+                                    hop.prologue.attrs)
+            in_nbytes = inputs[0].nbytes + inputs[1].nbytes
+        else:
+            value = inputs[0]
+            in_nbytes = inputs[0].nbytes
+        arr = value.data
+        for step in hop.steps:
+            arr = step.apply(arr)
+            if arr.dtype != np.float64:
+                arr = arr.astype(np.float64)
+            in_nbytes += step.extra_in_nbytes
+        out = MatrixValue(arr)
+        cfg = self.config
+        t_compute = hop.flops / cfg.flops_per_s
+        t_memory = (out.nbytes + in_nbytes) / cfg.mem_bandwidth_bytes_per_s
+        self.clock.advance(
+            cfg.instruction_overhead_s
+            + (t_compute if t_compute > t_memory else t_memory),
+            HOST,
+        )
+        self.stats.inc(INSTRUCTIONS_EXECUTED)
+        self.stats.inc(CPU_BYTES_ALLOCATED, out.nbytes)
+        self.stats.inc(FUSION_INSTRUCTIONS)
+        return out
 
     def supports(self, opcode: str) -> bool:
         """Whether this backend has a kernel for ``opcode``."""

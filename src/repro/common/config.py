@@ -69,6 +69,24 @@ def clear_policy_overrides() -> None:
     _POLICY_OVERRIDES.clear()
 
 
+#: ambient fusion switch installed by the harness CLI (``--fusion``) and
+#: the benchmark gates; like the policy overrides it is applied to every
+#: :class:`MemphisConfig` constructed while installed, so experiment
+#: drivers that build their configs internally pick it up.
+_FUSION_OVERRIDE: list[bool] = []
+
+
+def install_fusion_override(enabled: bool = True) -> None:
+    """Ambiently force ``enable_fusion`` on every new config."""
+    _FUSION_OVERRIDE.clear()
+    _FUSION_OVERRIDE.append(enabled)
+
+
+def clear_fusion_override() -> None:
+    """Remove the ambient fusion override."""
+    _FUSION_OVERRIDE.clear()
+
+
 class StorageLevel(enum.Enum):
     """Spark RDD persistence levels (subset used by the paper)."""
 
@@ -230,6 +248,13 @@ class MemphisConfig:
     enable_auto_tuning: bool = True
     enable_max_parallelize: bool = True
     enable_cse: bool = True
+    #: reuse-aware operator fusion (``repro.compiler.rewrites.fusion``):
+    #: when True, chains of cell-wise ops (and matmul epilogues) whose
+    #: intermediates the lineage cache does not want to retain are merged
+    #: into single fused instructions.  Off by default: fusion only fires
+    #: when the reuse mode neither probes nor caches (NONE/TRACE_ONLY),
+    #: since fused interiors produce no probeable lineage entries.
+    enable_fusion: bool = False
     #: GPU allocator mode: "malloc" | "pool" | "memphis"; None derives it
     #: from the reuse mode (Base -> malloc, MEMPHIS -> memphis).
     gpu_memory_mode: str | None = None
@@ -305,6 +330,8 @@ class MemphisConfig:
         if spark_policy is not None:
             self.cache.spark_policy = spark_policy
             self.spark.policy = spark_policy
+        if _FUSION_OVERRIDE:
+            self.enable_fusion = _FUSION_OVERRIDE[0]
 
     @classmethod
     def base(cls, **kw) -> "MemphisConfig":

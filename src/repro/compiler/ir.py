@@ -33,6 +33,10 @@ def infer_shape(opcode: str, in_shapes: list[tuple[int, int]],
     """Bottom-up output shape inference for every supported opcode."""
     if opcode == "rand":
         return (int(attrs["rows"]), int(attrs["cols"]))
+    if opcode == "fused":
+        # fused chains record their tail shape in the attrs; the interior
+        # hops they absorbed are no longer reachable for re-inference
+        return (int(attrs["rows"]), int(attrs["cols"]))
     if opcode == "seq":
         start, stop = float(attrs["from"]), float(attrs["to"])
         step = float(attrs.get("incr", 1.0))

@@ -69,6 +69,7 @@ from repro.compiler.rewrites.checkpoint import (
     should_checkpoint_loop_var,
 )
 from repro.compiler.rewrites.cse import eliminate_common_subexpressions
+from repro.compiler.rewrites.fusion import apply_fusion
 from repro.compiler.rewrites.tuning import ProgramBlock, tune_block
 from repro.core.cache import LineageCache
 from repro.core.entry import BACKEND_CP, BACKEND_GPU, BACKEND_SP
@@ -383,6 +384,23 @@ class Session:
         assign_placements(root_hops, self.config, nodes)
         consumers = consumers_map(root_hops, nodes)
         self._mark_fused_transposes(root_hops, consumers, nodes)
+        if self.config.enable_fusion:
+            # reuse-aware operator fusion: after CSE/placement (chains
+            # must respect both), before checkpoint/prefetch/broadcast
+            # placement (those passes must see the fused stream).
+            root_hops, fused, replaced = apply_fusion(
+                root_hops, nodes, consumers, self.config, self.stats,
+                protected=set(extra),
+            )
+            if fused:
+                for handle, hop in zip(roots, root_hops):
+                    handle.hop = hop
+                extra = {
+                    replaced[hid].id if hid in replaced else hid: handles_
+                    for hid, handles_ in extra.items()
+                }
+                nodes = depth_first(root_hops)
+                consumers = consumers_map(root_hops, nodes)
         place_shared_checkpoints(root_hops, self.config, consumers, nodes)
         place_prefetch(root_hops, self.config, consumers, nodes)
         place_broadcast(root_hops, self.config, consumers, nodes)

@@ -40,6 +40,7 @@ def reset_ambient_state() -> None:
     Keeps a crashed or sloppy test from leaking its tracer, analysis
     collector, or fault plan into the next test.
     """
+    from repro.common.config import clear_fusion_override
     from repro.faults.plan import uninstall_plan
     from repro.obs.explain import uninstall_explain
     from repro.obs.metrics import disable_metrics
@@ -49,6 +50,7 @@ def reset_ambient_state() -> None:
     disable_metrics()
     uninstall_explain()
     uninstall_plan()
+    clear_fusion_override()
     try:
         from repro.analysis import (
             uninstall_collector,

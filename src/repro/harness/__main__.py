@@ -17,7 +17,9 @@ import time
 
 from repro.common.config import (
     EvictionPolicyName,
+    clear_fusion_override,
     clear_policy_overrides,
+    install_fusion_override,
     install_policy_overrides,
 )
 from repro.harness import runner
@@ -89,6 +91,12 @@ def main(argv: list[str] | None = None) -> int:
                         help="eviction policy of the Spark storage and "
                              "cache tiers (SP_BLOCKS/SP_CACHE regions; "
                              "defaults: LRU / inherit --policy)")
+    parser.add_argument("--fusion", action="store_true",
+                        help="enable the reuse-aware operator fusion "
+                             "rewrite on every session (chains of "
+                             "cell-wise ops merge into single fused "
+                             "instructions where the lineage cache keeps "
+                             "nothing; see docs/PERFORMANCE.md)")
     args = parser.parse_args(argv)
 
     if args.list:
@@ -154,6 +162,10 @@ def main(argv: list[str] | None = None) -> int:
                                     ("spark", args.spark_policy)) if v}
         print(f"[memory: eviction policy overrides {chosen}]")
 
+    if args.fusion:
+        install_fusion_override(True)
+        print("[compiler: reuse-aware operator fusion enabled]")
+
     try:
         for name in selected:
             start = time.time()
@@ -162,6 +174,7 @@ def main(argv: list[str] | None = None) -> int:
             print(f"[{name}: regenerated in {time.time() - start:.1f}s wall]\n")
     finally:
         clear_policy_overrides()
+        clear_fusion_override()
         if fault_plan is not None:
             from repro.faults import uninstall_plan
 

@@ -32,6 +32,7 @@ from typing import Optional, TYPE_CHECKING
 
 from repro.backends.cpu.vectorized import CompiledStep, compile_step
 from repro.common.config import ReuseMode
+from repro.compiler.rewrites.fusion import FUSED_OPCODE
 from repro.common.simclock import HOST, SimFuture
 from repro.common.stats import CHECKPOINTS_PLACED, LINEAGE_TRACED
 from repro.compiler.ir import KIND_DATA, KIND_LITERAL, Hop
@@ -175,6 +176,10 @@ def run_fast(interp: "Interpreter", order: list[Hop],
             slot.payloads[BACKEND_CP] = ScalarValue(hop.value)
         elif kind == KIND_DATA:
             slot = data_slot(hop)
+        elif hop.opcode == FUSED_OPCODE:
+            # fused cell-wise chain (compile-time fusion rewrite):
+            # TRACE + single-instruction EXECUTE, never probed or put
+            slot = interp._exec_fused(hop, env)
         else:
             # TRACE (Fig. 4): intern the lineage item for this hop
             in_slots = [env[h.id] for h in hop.inputs]

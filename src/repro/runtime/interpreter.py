@@ -61,6 +61,7 @@ from repro.common.stats import (
 )
 from repro.faults.plan import KIND_CACHE_LOST
 from repro.compiler.ir import KIND_DATA, KIND_LITERAL, KIND_OP, Hop
+from repro.compiler.rewrites.fusion import FUSED_OPCODE
 from repro.core.entry import (
     BACKEND_CP,
     BACKEND_GPU,
@@ -219,6 +220,21 @@ class Interpreter:
         if hop.kind == KIND_DATA:
             return self._data_slot(hop)
 
+        if hop.opcode == FUSED_OPCODE:
+            # fused cell-wise chain (repro.compiler.rewrites.fusion):
+            # TRACE + EXECUTE happen inside _exec_fused; fused chains
+            # never probe or put (fusion only fires in modes without
+            # retention, enforced by the FUS analysis rules)
+            if self.faults.enabled:
+                self.faults.lost_cache_entries(self.session)
+            if self.tracer.enabled:
+                with self.tracer.span(
+                    EV_INSTR, LANE_CP,
+                    opcode=hop.opcode, hop=hop.id, backend=BACKEND_CP,
+                ):
+                    return self._exec_fused(hop, env)
+            return self._exec_fused(hop, env)
+
         # TRACE
         in_slots = [env[h.id] for h in hop.inputs]
         item = self._trace(hop, in_slots)
@@ -289,6 +305,51 @@ class Interpreter:
         # PUT
         if self._put_enabled(mode):
             self._put(hop, slot)
+
+    def _exec_fused(self, hop: Hop, env: dict[int, Slot]) -> Slot:
+        """TRACE + EXECUTE one fused chain as a single instruction.
+
+        The absorbed hops' lineage items are re-interned step by step
+        (exactly the items the unfused stream would have built), so the
+        fused instruction's output carries the *same* lineage key as the
+        unfused tail — downstream blocks and recompute-from-lineage see
+        no difference.  Tracing is charged once for the whole chain (one
+        instruction was dispatched) while ``lineage/items_traced`` still
+        counts every interned item; no probe or put runs, because fusion
+        is only planned in reuse modes with no retention.
+        """
+        intern = self.session.lineage_interner.intern
+        traced = 0
+        if hop.prologue is not None:
+            pro = hop.prologue
+            pro_inputs = tuple(env[h.id].lineage for h in pro.inputs)
+            prev_item = intern(
+                pro.opcode, _attr_data(pro.attrs) if pro.attrs else (),
+                pro_inputs,
+            )
+            traced += 1
+            values = [self._to_cp(env[h.id]) for h in hop.inputs[:2]]
+        else:
+            src_slot = env[hop.inputs[0].id]
+            prev_item = src_slot.lineage
+            values = [self._to_cp(src_slot)]
+        for step in hop.steps:
+            shop = step.hop
+            if step.scalar_index is None:
+                inputs = (prev_item,)
+            elif step.scalar_index == 0:
+                inputs = (env[shop.inputs[0].id].lineage, prev_item)
+            else:
+                inputs = (prev_item, env[shop.inputs[1].id].lineage)
+            prev_item = intern(shop.opcode, (), inputs)
+            traced += 1
+        if self.config.reuse_mode is not ReuseMode.NONE:
+            self.clock.advance(self.config.cpu.trace_overhead_s, HOST)
+            self.stats.inc(LINEAGE_TRACED, traced)
+        out = self.session.cpu.execute_fused(hop, values)
+        slot = Slot(prev_item)
+        slot.payloads[BACKEND_CP] = out
+        return slot
 
     # ----------------------------------------------------------------- trace / reuse
 

@@ -1,5 +1,6 @@
 """Tests for the benchmark telemetry pipeline (repro.harness.telemetry)."""
 
+import importlib.util
 import json
 import os
 import subprocess
@@ -133,3 +134,51 @@ class TestBenchReportScript:
         )
         assert proc.returncode == 1
         assert "FAIL" in proc.stdout
+
+
+def _load_bench_report_module():
+    spec = importlib.util.spec_from_file_location(
+        "bench_report", os.path.join(REPO, "scripts", "bench_report.py"))
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestValidationHoisted:
+    """Regression: schema validation runs once per report, not once per
+    experiment — the ``--fast`` path used to re-validate per record."""
+
+    def test_write_report_validates_exactly_once(self, tmp_path,
+                                                 monkeypatch):
+        mod = _load_bench_report_module()
+        calls = []
+        real = mod.validate_bench_report
+
+        def counting(doc):
+            calls.append(1)
+            return real(doc)
+
+        monkeypatch.setattr(mod, "validate_bench_report", counting)
+        records = [
+            experiment_record(f"fake{i}",
+                              _experiment({0: {"m": _result()}}), wall_s=0.5)
+            for i in range(4)
+        ]
+        out = tmp_path / "bench.json"
+        assert mod.write_report(records, str(out)) == 0
+        assert len(calls) == 1  # once per report, not per experiment
+        assert validate_bench_report(json.loads(out.read_text())) == []
+
+    def test_experiment_loop_never_validates(self, monkeypatch):
+        mod = _load_bench_report_module()
+
+        def forbidden(doc):  # pragma: no cover - failure path
+            raise AssertionError("validation ran inside the "
+                                 "per-experiment loop")
+
+        monkeypatch.setattr(mod, "validate_bench_report", forbidden)
+        monkeypatch.setitem(mod.EXPERIMENTS, "tiny",
+                            lambda: _experiment({0: {"m": _result()}}))
+        records = mod.run_experiments(["tiny"])
+        assert len(records) == 1
+        assert records[0]["name"] == "tiny"
