@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""CI smoke test for the multi-tenant reuse server (docs/SERVER.md).
+
+Runs the canonical shared-substrate demo (``repro.server``) twice with
+the same interleave seed and checks the promises the server makes:
+
+* cross-session deduplication actually happens — the overlapping pure
+  pipelines report ``server/cross_session_hits > 0`` and
+  ``server/dedup_bytes_saved > 0``;
+* every request completes, and the pure requests all compute the same
+  answer (one cached result served to every session);
+* two same-seed runs are byte-identical (same schedule, same counters,
+  same per-request outcomes) and a different seed changes the schedule
+  but never the answers;
+* the ``--server`` harness mode works end-to-end as a subprocess.
+
+Usage::
+
+    python scripts/server_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO, "src"))
+
+from repro.common.stats import (  # noqa: E402
+    SERVER_CROSS_HITS,
+    SERVER_DEDUP_BYTES,
+)
+from repro.server import run_server_demo  # noqa: E402
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}")
+    sys.exit(1)
+
+
+def main() -> None:
+    first = run_server_demo(4, seed=11)
+    print(first.format())
+    if not first.ok:
+        fail("demo run reported failed requests")
+    cross = first.server_counter(SERVER_CROSS_HITS)
+    saved = first.server_counter(SERVER_DEDUP_BYTES)
+    if cross <= 0:
+        fail(f"expected cross-session hits, got {cross}")
+    if saved <= 0:
+        fail(f"expected dedup bytes saved, got {saved}")
+
+    pure_values = {r.value for r in first.results
+                   if r.name.startswith("pure")}
+    if len(pure_values) != 1:
+        fail(f"pure sessions disagree: {sorted(pure_values)}")
+
+    second = run_server_demo(4, seed=11)
+    a, b = first.as_record(), second.as_record()
+    if a != b:
+        print(json.dumps(a, indent=2, sort_keys=True))
+        print(json.dumps(b, indent=2, sort_keys=True))
+        fail("two same-seed runs produced different reports")
+
+    reshuffled = run_server_demo(4, seed=23)
+    if not reshuffled.ok:
+        fail("reshuffled run reported failed requests")
+    if {r.name: r.value for r in reshuffled.results} \
+            != {r.name: r.value for r in first.results}:
+        fail("interleave seed changed request results")
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        os.path.join(REPO, "src") + os.pathsep + env.get("PYTHONPATH", "")
+    )
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.harness", "--server", "3",
+         "--server-seed", "5"],
+        capture_output=True, text=True, env=env, timeout=600,
+    )
+    if proc.returncode != 0:
+        print(proc.stdout)
+        print(proc.stderr)
+        fail(f"harness --server exited with {proc.returncode}")
+    if "=== server report ===" not in proc.stdout:
+        fail("harness --server did not print the server report")
+
+    print("OK: server smoke passed (cross-session dedup + determinism)")
+
+
+if __name__ == "__main__":
+    main()

@@ -388,3 +388,17 @@ class MemphisConfig:
         cfg = cls.memphis(**kw)
         cfg.reuse_mode = ReuseMode.OPERATOR_ONLY
         return cfg
+
+    @classmethod
+    def server_session(cls, **kw) -> "MemphisConfig":
+        """Per-session config for the multi-tenant server (``repro.server``).
+
+        Full MEMPHIS reuse plus static memory planning: the planner's
+        per-block peak demands are what the shared substrate's strict
+        admission gate (``SessionContext.admit``) reserves against.
+        Without a plan there is nothing to admit, so quota enforcement
+        would degrade to put-time shaping only.
+        """
+        cfg = cls.memphis(**kw)
+        cfg.memplan = True
+        return cfg

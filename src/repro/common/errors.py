@@ -40,6 +40,25 @@ class CacheError(MemphisError):
     """Raised on inconsistent lineage-cache state."""
 
 
+class AdmissionError(MemphisError):
+    """Raised when the shared substrate refuses to admit a block.
+
+    Multi-tenant admission control (``repro.server``): a block whose
+    predicted peak footprint cannot fit the shared regions under the
+    tenant's quota — even after evicting every unpinned byte — is
+    refused before anything executes.  Carries the refusing region and
+    the unsatisfied demand so a scheduler can requeue the request as
+    backpressure instead of failing it.
+    """
+
+    def __init__(self, message: str, region: str | None = None,
+                 tenant: str | None = None, demand: int = 0) -> None:
+        super().__init__(message)
+        self.region = region
+        self.tenant = tenant
+        self.demand = demand
+
+
 class BackendError(MemphisError):
     """Base class for backend execution failures."""
 

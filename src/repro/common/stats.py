@@ -192,3 +192,12 @@ FAULT_SPILL_IO_ERRORS = "faults/spill_io_errors"
 FAULT_RESTORE_IO_ERRORS = "faults/restore_io_errors"
 FAULT_CACHE_ENTRIES_LOST = "faults/cache_entries_lost"
 FAULT_LINEAGE_RECOMPUTES = "faults/lineage_recomputes"
+SERVER_SESSIONS = "server/sessions_attached"
+SERVER_REQUESTS = "server/requests_submitted"
+SERVER_STEPS = "server/scheduler_steps"
+SERVER_CROSS_HITS = "server/cross_session_hits"
+SERVER_DEDUP_BYTES = "server/dedup_bytes_saved"
+SERVER_SCOPED_KEYS = "server/session_scoped_keys"
+SERVER_ADMITTED = "server/blocks_admitted"
+SERVER_BACKPRESSURE = "server/backpressure_events"
+SERVER_QUOTA_REFUSALS = "server/quota_refusals"

@@ -101,6 +101,11 @@ class LineageCache:
         self.on_cp_evict: Optional[Callable[[CacheEntry], None]] = None
         #: per-put delay factor override (set per block by auto-tuning).
         self.delay_factor = config.delay_factor
+        #: active session scope on a *shared* cache (``repro.server``):
+        #: a ``SessionContext`` namespacing keys and enforcing tenant
+        #: fair share.  ``None`` on private caches — the hot path then
+        #: pays exactly one attribute check per probe/put.
+        self._scope = None
 
     # -- introspection -------------------------------------------------------
 
@@ -125,6 +130,9 @@ class LineageCache:
 
     def get_entry(self, key: LineageItem) -> Optional[CacheEntry]:
         """Raw entry lookup without hit/miss accounting."""
+        scope = self._scope
+        if scope is not None:
+            key = scope.namespaced(key)
         return self._entries.get(key)
 
     # -- core API (paper §3.1) --------------------------------------------------
@@ -136,6 +144,9 @@ class LineageCache:
         evicted entries count as misses but update reference metadata used
         by the eviction policy.
         """
+        scope = self._scope
+        if scope is not None:
+            key = scope.namespaced(key)
         self._logical_time += 1
         self.stats.inc(LINEAGE_PROBES)
         entry = self._entries.get(key)
@@ -144,9 +155,18 @@ class LineageCache:
             self._trace_probe(key, hit=False)
             return None
         entry.last_access = self._logical_time
+        if scope is not None and not scope.usable(entry):
+            # another session's entry without a host-side copy: its
+            # Spark/GPU payloads are bound to the owner's backends
+            entry.misses += 1
+            self.stats.inc(CACHE_MISSES)
+            self._trace_probe(key, hit=False)
+            return None
         if entry.is_cached:
             entry.hits += 1
             self.stats.inc(CACHE_HITS)
+            if scope is not None:
+                scope.note_hit(entry)
             self._trace_probe(key, hit=True)
             return entry
         if entry.status is EntryStatus.SPILLED \
@@ -155,6 +175,8 @@ class LineageCache:
             if restored:
                 entry.hits += 1
                 self.stats.inc(CACHE_HITS)
+                if scope is not None:
+                    scope.note_hit(entry)
                 self._trace_probe(key, hit=True, restored=True)
                 return entry
         entry.misses += 1
@@ -178,12 +200,18 @@ class LineageCache:
         admission policy).  Returns the entry when the payload was
         actually cached, else ``None``.
         """
+        scope = self._scope
+        if scope is not None:
+            key = scope.namespaced(key)
         now = self._logical_time = self._logical_time + 1
         n = self.delay_factor if delay_factor is None else delay_factor
         entries = self._entries
         entry = entries.get(key)
         if entry is None:
             entry = CacheEntry(key, compute_cost, size)
+            if scope is not None:
+                entry.owner = scope.uid
+                entry.tenant = scope.tenant
             entries[key] = entry
         entry.seen_count += 1
         entry.last_access = now
@@ -195,8 +223,10 @@ class LineageCache:
             return None
         if backend == BACKEND_CP:
             if entry.cp_accounted:  # re-put: release the old charge first
-                self.arbiter.release(REGION_CP, entry.cp_accounted)
-                entry.cp_accounted = 0
+                self._release_cp(entry)
+            if scope is not None \
+                    and not self._fit_tenant_quota(entry, size):
+                return None
             if not self.arbiter.reserve(
                 REGION_CP, size, candidates=self._cp_candidates,
                 evict=self.evict_cp, now=self._logical_time,
@@ -204,6 +234,8 @@ class LineageCache:
                 return None
             self.arbiter.commit(REGION_CP, size)
             entry.cp_accounted = size
+            if entry.tenant is not None:
+                self.arbiter.charge_tenant(REGION_CP, entry.tenant, size)
         entry.put_payload(backend, payload, size, compute_cost)
         if backend == BACKEND_GPU:
             ptr = getattr(payload, "ptr", None)
@@ -233,10 +265,67 @@ class LineageCache:
         )
 
     def _cp_candidates(self) -> list[CacheEntry]:
+        scope = self._scope
+        if scope is None:
+            return [
+                e for e in self._entries.values()
+                if BACKEND_CP in e.payloads and e.is_cached
+            ]
+        # fair-share victim filter: pinned entries are never victims,
+        # and another tenant's entries are protected while that tenant
+        # is within its quota
         return [
             e for e in self._entries.values()
             if BACKEND_CP in e.payloads and e.is_cached
+            and not e.pinned and scope.evictable(e)
         ]
+
+    def _release_cp(self, entry: CacheEntry) -> None:
+        """Release the entry's CP charge (+ tenant ledger and pin)."""
+        nbytes = entry.cp_accounted
+        if not nbytes:
+            return
+        self.arbiter.release(REGION_CP, nbytes)
+        entry.cp_accounted = 0
+        if entry.tenant is not None:
+            self.arbiter.charge_tenant(REGION_CP, entry.tenant, -nbytes)
+        if entry.pinned:
+            self.arbiter.unpin(REGION_CP, nbytes)
+            entry.pinned = False
+
+    def _fit_tenant_quota(self, entry: CacheEntry, size: int) -> bool:
+        """Make ``size`` bytes fit under the entry tenant's quota.
+
+        Shrinks the tenant's *own* unpinned CP entries first; when the
+        quota still cannot take the bytes, the put is refused — a tenant
+        never caches past its fair share.
+        """
+        tenant = entry.tenant
+        if tenant is None:
+            return True
+        headroom = self.arbiter.quota_headroom(REGION_CP, tenant)
+        if headroom is None or size <= headroom:
+            return True
+        while True:
+            own = [
+                e for e in self._entries.values()
+                if e.tenant == tenant and e is not entry
+                and BACKEND_CP in e.payloads and e.is_cached
+                and not e.pinned
+            ]
+            victim = self.arbiter.select_victim(
+                REGION_CP, own, now=self._logical_time
+            )
+            if victim is None:
+                break
+            self.evict_cp(victim)
+            headroom = self.arbiter.quota_headroom(REGION_CP, tenant)
+            if headroom is None or size <= headroom:
+                return True
+        from repro.common.stats import SERVER_QUOTA_REFUSALS
+
+        self.stats.inc(SERVER_QUOTA_REFUSALS)
+        return False
 
     def _cp_victim(self) -> Optional[CacheEntry]:
         return self.arbiter.select_victim(
@@ -256,8 +345,7 @@ class LineageCache:
             return
         if self.on_cp_evict is not None:
             self.on_cp_evict(entry)
-        self.arbiter.release(REGION_CP, entry.cp_accounted)
-        entry.cp_accounted = 0
+        self._release_cp(entry)
         if self.arbiter.should_spill(REGION_CP, entry.size,
                                      entry.compute_cost) \
                 and not self._spill_faulted(entry):
@@ -325,6 +413,8 @@ class LineageCache:
         self.arbiter.release(REGION_DISK, entry.size)
         self.arbiter.commit(REGION_CP, entry.size)
         entry.cp_accounted = entry.size
+        if entry.tenant is not None:
+            self.arbiter.charge_tenant(REGION_CP, entry.tenant, entry.size)
         self.stats.inc(CACHE_RESTORES)
         self.arbiter.record_restore(REGION_CP, entry.size,
                                     key=entry.key.id)
@@ -362,8 +452,7 @@ class LineageCache:
         """
         dropped: list[str] = []
         if BACKEND_CP in entry.payloads:
-            self.arbiter.release(REGION_CP, entry.cp_accounted)
-            entry.cp_accounted = 0
+            self._release_cp(entry)
             entry.drop_payload(BACKEND_CP)
             dropped.append(BACKEND_CP)
         if BACKEND_DISK in entry.payloads:
@@ -429,10 +518,12 @@ class LineageCache:
     # -- maintenance ---------------------------------------------------------------
 
     def remove(self, key: LineageItem) -> None:
+        scope = self._scope
+        if scope is not None:
+            key = scope.namespaced(key)
         entry = self._entries.pop(key, None)
         if entry is not None:
-            self.arbiter.release(REGION_CP, entry.cp_accounted)
-            entry.cp_accounted = 0
+            self._release_cp(entry)
 
     def clear(self) -> None:
         self._entries.clear()

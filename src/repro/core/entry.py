@@ -37,6 +37,7 @@ class CacheEntry:
         "key", "status", "payloads", "size", "compute_cost", "height",
         "hits", "misses", "jobs", "last_access", "seen_count",
         "is_function", "rdd_materialized", "outputs", "cp_accounted",
+        "owner", "tenant", "pinned",
     )
 
     def __init__(self, key: LineageItem, compute_cost: float = 0.0,
@@ -65,6 +66,13 @@ class CacheEntry:
         #: budget drifts (CP copies attached as exchange ride-alongs are
         #: never charged).
         self.cp_accounted = 0
+        #: shared-substrate provenance (``repro.server``): the session
+        #: uid that first put this entry and the tenant its CP bytes are
+        #: attributed to.  ``None`` on private (single-session) caches.
+        self.owner: Optional[int] = None
+        self.tenant: Optional[str] = None
+        #: tenant-pinned entries are never offered as eviction victims.
+        self.pinned = False
 
     # -- payload management ----------------------------------------------------
 

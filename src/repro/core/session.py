@@ -71,18 +71,21 @@ from repro.compiler.rewrites.checkpoint import (
 from repro.compiler.rewrites.cse import eliminate_common_subexpressions
 from repro.compiler.rewrites.fusion import apply_fusion
 from repro.compiler.rewrites.tuning import ProgramBlock, tune_block
-from repro.core.cache import LineageCache
 from repro.core.entry import BACKEND_CP, BACKEND_GPU, BACKEND_SP
 from repro.core.spark_cache import SparkCacheManager
+from repro.core.substrate import (
+    SessionContext,
+    Substrate,
+    current_substrate,
+)
 from repro.faults.injector import NULL_INJECTOR, FaultInjector
 from repro.faults.plan import current_plan
 from repro.lineage.item import (
-    LineageInterner,
     LineageItem,
     function_item,
     literal,
 )
-from repro.memory import MemoryArbiter
+from repro.memory import REGION_CP, MemoryArbiter
 from repro.lineage.recompute import hops_from_item
 from repro.lineage.serialize import deserialize, serialize
 from repro.obs.explain import (
@@ -103,7 +106,9 @@ from repro.runtime.values import MatrixValue, ScalarValue, Value
 class Session:
     """One MEMPHIS execution context (driver + backends + cache)."""
 
-    def __init__(self, config: Optional[MemphisConfig] = None) -> None:
+    def __init__(self, config: Optional[MemphisConfig] = None, *,
+                 substrate: Optional[Substrate] = None,
+                 tenant: Optional[str] = None) -> None:
         self.config = config or MemphisConfig.memphis()
         self.clock = SimClock()
         self.stats = Stats()
@@ -155,24 +160,48 @@ class Session:
             FaultInjector(plan, self.clock, self.stats, tracer=self.tracer)
             if plan is not None else NULL_INJECTOR
         )
-        # unified memory-arbitration substrate (repro.memory): one
-        # arbiter coordinates the byte ledgers and victim selection of
-        # all four managers (driver cache, buffer pool, Spark storage,
-        # GPU) and hosts the cross-region residency/pressure hooks.
-        self.arbiter = MemoryArbiter(
-            self.stats, tracer=self.tracer, faults=self.faults
-        )
-        self.cache = LineageCache(
-            self.config.cache, self.stats, clock=self.clock,
-            disk_bytes_per_s=self.config.cpu.disk_bytes_per_s,
-            flops_per_s=self.config.cpu.flops_per_s,
-            tracer=self.tracer, faults=self.faults, arbiter=self.arbiter,
-        )
-        # hash-consing table for lineage keys: the interpreter's TRACE
-        # step interns every op item, so re-traced instructions return
-        # the canonical object and cache probes hit the dict's identity
-        # fast path instead of structural DAG comparison.
-        self.lineage_interner = LineageInterner()
+        # reuse substrate (repro.core.substrate): the arbiter with the
+        # CP/DISK ledgers, the lineage cache, and the interner.  The
+        # default is a *private* substrate built from this session's own
+        # stats/clock/tracer — exactly the object graph sessions owned
+        # before the substrate layer existed, so single-session
+        # behaviour is byte-identical.  An injected (or ambient) shared
+        # substrate is attached instead: lineage keys are namespaced per
+        # the determinism rules and CP/DISK admission goes through the
+        # tenant's fair share (see docs/SERVER.md).
+        if substrate is None:
+            substrate = current_substrate()
+        if substrate is not None and substrate.shared:
+            self.substrate = substrate
+            self._ctx: Optional[SessionContext] = substrate.attach(
+                self, tenant
+            )
+            self.cache = substrate.cache
+            self.lineage_interner = substrate.interner
+            # backend regions (buffer pool, Spark tiers, GPU) stay
+            # session-private: only CP/DISK live on the shared arbiter.
+            self.arbiter = MemoryArbiter(
+                self.stats, tracer=self.tracer, faults=self.faults
+            )
+            # holistic eviction still consults driver-cache residency:
+            # the session's GPU manager asks the *shared* cache.
+            self.arbiter.register_residency(
+                REGION_CP, substrate.cache.has_host_copy_for
+            )
+        else:
+            self.substrate = Substrate(
+                self.config, stats=self.stats, clock=self.clock,
+                tracer=self.tracer, faults=self.faults,
+            )
+            self._ctx = None
+            self.arbiter = self.substrate.arbiter
+            self.cache = self.substrate.cache
+            # hash-consing table for lineage keys: the interpreter's
+            # TRACE step interns every op item, so re-traced
+            # instructions return the canonical object and cache probes
+            # hit the dict's identity fast path instead of structural
+            # DAG comparison.
+            self.lineage_interner = self.substrate.interner
         self.cpu = CpuBackend(self.config.cpu, self.clock, self.stats)
         self.spark_context = SparkContext(
             self.config.spark, self.clock, self.stats, tracer=self.tracer,
@@ -180,7 +209,8 @@ class Session:
         )
         self.spark = SparkBackend(self.spark_context)
         self.spark_mgr = SparkCacheManager(
-            self.cache, self.spark_context, self.config.cache, self.stats
+            self.cache, self.spark_context, self.config.cache, self.stats,
+            arbiter=self.arbiter,
         )
         self.gpu = GpuBackend(
             self.config.gpu, self.clock, self.stats,
@@ -249,6 +279,13 @@ class Session:
                 value.data if isinstance(value, MatrixValue)
                 else float(data)
             )
+            if self._ctx is not None:
+                # shared substrate: record the content fingerprint so
+                # ``data`` leaves only unify across sessions reading the
+                # same bytes under this name
+                self.substrate.register_dataset(
+                    self._ctx, name, self._datasets[name]
+                )
         return handle
 
     def scalar(self, value: float) -> MatrixHandle:
@@ -410,8 +447,15 @@ class Session:
             order = nodes
         return roots, root_hops, order, extra
 
+    def _activate(self) -> None:
+        """Make this session the shared cache's active scope (no-op when
+        the substrate is private)."""
+        if self._ctx is not None:
+            self.substrate.activate(self._ctx)
+
     def evaluate(self, handles: Sequence[MatrixHandle]) -> None:
         """Compile and execute the DAGs of ``handles`` (one basic block)."""
+        self._activate()
         compiled = self._compile(handles)
         if compiled is None:
             return
@@ -426,6 +470,12 @@ class Session:
         if self.memplanner is not None:
             plan = self.memplanner.plan(root_hops, order)
             self.stats.inc(MEMPLAN_BLOCKS_PLANNED)
+            if self._ctx is not None:
+                # multi-tenant admission gate: the shared-region subset
+                # of the demands must pass the tenant's quota and a
+                # strict bulk reservation, or AdmissionError surfaces to
+                # the scheduler as backpressure before anything runs
+                self._ctx.admit(plan.admission_demands())
             reservation = self.arbiter.reserve_plan(plan.admission_demands())
         try:
             if self._verify_ir:
@@ -490,6 +540,7 @@ class Session:
 
     def compute(self, handle: MatrixHandle) -> np.ndarray:
         """Force evaluation and return the driver-side numpy result."""
+        self._activate()
         if handle.hop.kind == KIND_OP:
             self.evaluate([handle])
         if BACKEND_CP not in handle.payloads and handle.lineage is not None:
@@ -569,6 +620,7 @@ class Session:
                     ReuseMode.FULL, ReuseMode.COARSE_ONLY
                 ):
                     return fn(*args)
+                self._activate()
                 key = self._function_key(fname, args)
                 entry = self.cache.probe(key)
                 if entry is not None:

@@ -43,12 +43,15 @@ class SparkCacheManager:
     """Backend-local cache manager for the Spark tier of the cache."""
 
     def __init__(self, cache: LineageCache, context: SparkContext,
-                 config: CacheConfig, stats: Stats) -> None:
+                 config: CacheConfig, stats: Stats, arbiter=None) -> None:
         self.cache = cache
         self.sc = context
         self.config = config
         self.stats = stats
-        self.arbiter = cache.arbiter
+        # the Spark tier is session-private even when the lineage cache
+        # is shared (repro.server), so the SP_CACHE region must register
+        # on the session's own arbiter, not the cache's (shared) one.
+        self.arbiter = arbiter if arbiter is not None else cache.arbiter
         policy = cache.policy if config.spark_policy is None \
             else make_policy(config.spark_policy)
         self._region = self.arbiter.add_region(

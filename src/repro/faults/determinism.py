@@ -41,6 +41,7 @@ def reset_ambient_state() -> None:
     collector, or fault plan into the next test.
     """
     from repro.common.config import clear_fusion_override
+    from repro.core.substrate import clear_ambient_substrate
     from repro.faults.plan import uninstall_plan
     from repro.obs.explain import uninstall_explain
     from repro.obs.metrics import disable_metrics
@@ -51,6 +52,9 @@ def reset_ambient_state() -> None:
     uninstall_explain()
     uninstall_plan()
     clear_fusion_override()
+    # shared-substrate server state: uninstall the ambient substrate and
+    # drop its tenant registry so one test's server cannot serve another
+    clear_ambient_substrate()
     try:
         from repro.analysis import (
             uninstall_collector,

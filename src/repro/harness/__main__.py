@@ -91,6 +91,16 @@ def main(argv: list[str] | None = None) -> int:
                         help="eviction policy of the Spark storage and "
                              "cache tiers (SP_BLOCKS/SP_CACHE regions; "
                              "defaults: LRU / inherit --policy)")
+    parser.add_argument("--server", metavar="N", type=int, default=None,
+                        help="multi-tenant server mode: run N concurrent "
+                             "sessions across two tenants on one shared "
+                             "substrate (deterministic seeded interleave) "
+                             "and print the cross-session dedup / "
+                             "per-tenant occupancy report (docs/SERVER.md)")
+    parser.add_argument("--server-seed", metavar="SEED", type=int, default=0,
+                        help="interleave seed for --server (default 0); "
+                             "the same seed reproduces the identical "
+                             "schedule, counters, and results")
     parser.add_argument("--fusion", action="store_true",
                         help="enable the reuse-aware operator fusion "
                              "rewrite on every session (chains of "
@@ -103,6 +113,16 @@ def main(argv: list[str] | None = None) -> int:
         for name in EXPERIMENTS:
             print(name)
         return 0
+
+    if args.server is not None:
+        from repro.server import run_server_demo
+
+        start = time.time()
+        report = run_server_demo(args.server, seed=args.server_seed)
+        print(report.format())
+        print(f"[server: {args.server} session(s), seed {args.server_seed}, "
+              f"{time.time() - start:.1f}s wall]")
+        return 0 if report.ok else 1
 
     selected = args.experiments or list(EXPERIMENTS)
     unknown = [name for name in selected if name not in EXPERIMENTS]

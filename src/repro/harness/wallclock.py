@@ -177,11 +177,37 @@ def run_cellwise_chain(repeats: int = 5, iters: int = 120,
                     repeats, iters, warmup)
 
 
+def run_server_mixed(repeats: int = 3, iters: int = 6,
+                     warmup: int = 1) -> WallclockResult:
+    """Multi-session server throughput (``repro.server``).
+
+    Each step runs one complete shared-substrate demo — three sessions
+    across two tenants on overlapping pure pipelines plus two impure
+    requests, deterministically interleaved — and items aggregate the
+    dispatched instructions of *every* session.  This workload regresses
+    if key namespacing, cross-session probes, or the scheduler's
+    activation switches add per-instruction cost.
+    """
+    from types import SimpleNamespace
+
+    from repro.common.stats import Stats
+    from repro.server import run_server_demo
+
+    tally = SimpleNamespace(stats=Stats())
+
+    def step() -> None:
+        report = run_server_demo(3, seed=0)
+        tally.stats.merge(report.merged)
+
+    return _measure("server_mixed", tally, step, repeats, iters, warmup)
+
+
 #: name -> (runner, fast-mode kwargs).
 WALLCLOCK_WORKLOADS: dict[str, Callable[..., WallclockResult]] = {
     "quickstart": run_quickstart,
     "quickstart_base": run_quickstart_base,
     "cellwise_chain": run_cellwise_chain,
+    "server_mixed": run_server_mixed,
 }
 
 #: reduced repeat counts for CI (--fast).
@@ -189,6 +215,7 @@ FAST_KWARGS = {
     "quickstart": {"repeats": 3, "iters": 150, "warmup": 20},
     "quickstart_base": {"repeats": 3, "iters": 150, "warmup": 20},
     "cellwise_chain": {"repeats": 3, "iters": 60, "warmup": 5},
+    "server_mixed": {"repeats": 2, "iters": 4, "warmup": 1},
 }
 
 

@@ -28,6 +28,11 @@ OP_DATA = "data"
 OP_LITERAL = "lit"
 #: opcode prefix for function-level (coarse-grained) lineage items (§3.3).
 OP_FUNCTION = "func"
+#: opcode prefix for per-session namespace wrappers on a shared
+#: substrate: ``ns:<uid>`` wraps a key whose DAG is impure (seeded /
+#: nondeterministic) so it never unifies across sessions
+#: (see ``repro.core.substrate``).
+OP_NAMESPACE = "ns"
 
 
 class LineageItem:
@@ -96,6 +101,11 @@ class LineageItem:
     def is_function(self) -> bool:
         """Whether this is a coarse-grained (function-level) item."""
         return self.opcode.startswith(OP_FUNCTION)
+
+    @property
+    def is_namespaced(self) -> bool:
+        """Whether this is a session-scoped namespace wrapper."""
+        return self.opcode.startswith(OP_NAMESPACE + ":")
 
     def iter_dag(self) -> Iterable["LineageItem"]:
         """Yield every node of the DAG reachable from this item once."""

@@ -17,7 +17,12 @@ delayed caching as an admission policy (§5.2).
 """
 
 from repro.memory.arbiter import MemoryArbiter, PlanReservation
-from repro.memory.budget import RegionBudget, region_capacities
+from repro.memory.budget import (
+    SHARED_REGIONS,
+    RegionBudget,
+    region_capacities,
+    shared_demands,
+)
 from repro.memory.protocols import Evictable, Spillable
 from repro.memory.region import MemoryRegion
 
@@ -35,6 +40,8 @@ __all__ = [
     "PlanReservation",
     "RegionBudget",
     "region_capacities",
+    "SHARED_REGIONS",
+    "shared_demands",
     "Evictable",
     "Spillable",
     "REGION_CP",

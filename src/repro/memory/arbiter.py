@@ -163,6 +163,11 @@ class MemoryArbiter:
     def regions(self) -> list[MemoryRegion]:
         return list(self._regions.values())
 
+    def check(self) -> None:
+        """Assert every region's ledger invariants (tests/debugging)."""
+        for region in self._regions.values():
+            region.check()
+
     # -- reservation protocol -------------------------------------------------
 
     def reserve(self, name: str, size: int, *,
@@ -307,6 +312,27 @@ class MemoryArbiter:
     def unpin(self, name: str, size: int) -> None:
         self._regions[name].unpin(size)
 
+    # -- per-tenant fair-share quotas (repro.server) ---------------------------
+
+    def set_quota(self, name: str, tenant: str,
+                  nbytes: Optional[int]) -> None:
+        """Set (or clear) a tenant's byte quota in region ``name``."""
+        self._regions[name].set_quota(tenant, nbytes)
+
+    def charge_tenant(self, name: str, tenant: str, delta: int) -> None:
+        """Attribute ``delta`` used bytes of region ``name`` to a tenant."""
+        self._regions[name].charge_tenant(tenant, delta)
+
+    def tenant_usage(self, name: str, tenant: str) -> int:
+        return self._regions[name].tenant_usage(tenant)
+
+    def quota_headroom(self, name: str, tenant: str) -> Optional[int]:
+        """Bytes the tenant may still use in ``name`` (None = no cap)."""
+        return self._regions[name].quota_headroom(tenant)
+
+    def over_quota(self, name: str, tenant: str) -> bool:
+        return self._regions[name].over_quota(tenant)
+
     # -- victim selection -----------------------------------------------------
 
     def select_victim(self, name: str, candidates: Iterable, *,
@@ -393,6 +419,18 @@ class MemoryArbiter:
         return re-enters the reservation loop.
         """
         self._pressure.setdefault(name, []).append(callback)
+
+    def notify_pressure(self, name: str, needed: int) -> bool:
+        """Fire region ``name``'s pressure callbacks explicitly.
+
+        Used by the shared-substrate admission gate (``repro.server``):
+        a refused block surfaces as a pressure event so schedulers
+        observing the arbiter see backpressure, not just a counter.
+        """
+        region = self._regions.get(name)
+        if region is None:
+            return False
+        return self._fire_pressure(region, needed)
 
     def _fire_pressure(self, region: MemoryRegion, needed: int) -> bool:
         callbacks = self._pressure.get(region.name)

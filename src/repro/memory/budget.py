@@ -23,6 +23,23 @@ from typing import NamedTuple
 from repro.common.config import MemphisConfig
 
 
+#: regions owned by the shared substrate in multi-tenant mode
+#: (``repro.server``): the driver lineage-cache tier and its disk spill
+#: tier are the only regions whose ledgers are shared across sessions;
+#: every other region stays session-private (one buffer pool / Spark
+#: cluster / GPU per session).  The admission gate restricts a block's
+#: plan demands to this subset before strict bulk reservation.
+SHARED_REGIONS: tuple[str, ...] = ("CP", "DISK")
+
+
+def shared_demands(demands: dict[str, int]) -> dict[str, int]:
+    """The subset of a plan's region demands the shared substrate owns."""
+    return {
+        name: nbytes for name, nbytes in demands.items()
+        if name in SHARED_REGIONS
+    }
+
+
 class RegionBudget(NamedTuple):
     """Compile-time view of one region's configured capacity."""
 

@@ -29,6 +29,7 @@ class MemoryRegion:
     __slots__ = (
         "name", "capacity", "unlimited", "policy", "watermark",
         "used", "reserved", "pinned", "peak_used",
+        "quotas", "tenant_used",
     )
 
     def __init__(self, name: str, capacity: int,
@@ -47,6 +48,13 @@ class MemoryRegion:
         self.reserved = 0
         self.pinned = 0
         self.peak_used = 0
+        #: per-tenant fair-share byte quotas (``repro.server``); ``None``
+        #: until the first quota is set, so single-tenant sessions pay
+        #: nothing for the multi-tenant ledgers.
+        self.quotas: Optional[dict[str, int]] = None
+        #: per-tenant used bytes; tracked once any quota or tenant
+        #: charge exists.
+        self.tenant_used: Optional[dict[str, int]] = None
 
     # -- queries ------------------------------------------------------------
 
@@ -104,11 +112,57 @@ class MemoryRegion:
     def unpin(self, size: int) -> None:
         self.pinned -= size
 
+    # -- per-tenant fair-share ledgers (repro.server) -----------------------
+
+    def set_quota(self, tenant: str, nbytes: Optional[int]) -> None:
+        """Set (or clear, with ``None``) a tenant's byte quota."""
+        if self.quotas is None:
+            self.quotas = {}
+        if nbytes is None:
+            self.quotas.pop(tenant, None)
+        else:
+            self.quotas[tenant] = int(nbytes)
+
+    def quota(self, tenant: str) -> Optional[int]:
+        """The tenant's quota in bytes, or ``None`` (no cap)."""
+        if self.quotas is None:
+            return None
+        return self.quotas.get(tenant)
+
+    def charge_tenant(self, tenant: str, delta: int) -> None:
+        """Attribute ``delta`` used bytes (possibly negative) to a tenant.
+
+        A sub-ledger of ``used``: the region-level ledger transitions
+        still account the same bytes; this only records *whose* they are.
+        """
+        if self.tenant_used is None:
+            self.tenant_used = {}
+        self.tenant_used[tenant] = self.tenant_used.get(tenant, 0) + delta
+
+    def tenant_usage(self, tenant: str) -> int:
+        if self.tenant_used is None:
+            return 0
+        return self.tenant_used.get(tenant, 0)
+
+    def quota_headroom(self, tenant: str) -> Optional[int]:
+        """Bytes the tenant may still use under its quota (None = no cap)."""
+        cap = self.quota(tenant)
+        if cap is None:
+            return None
+        return cap - self.tenant_usage(tenant)
+
+    def over_quota(self, tenant: str) -> bool:
+        """Whether the tenant's attributed usage exceeds its quota."""
+        cap = self.quota(tenant)
+        return cap is not None and self.tenant_usage(tenant) > cap
+
     def reset(self) -> None:
         """Drop all ledgers (cache clear); capacity/policy survive."""
         self.used = 0
         self.reserved = 0
         self.pinned = 0
+        if self.tenant_used is not None:
+            self.tenant_used.clear()
 
     def check(self) -> None:
         """Assert the ledger invariants (used by the property tests)."""
@@ -125,10 +179,22 @@ class MemoryRegion:
                 f"{self.name}: overcommitted "
                 f"({self.used}+{self.reserved} > {self.capacity})"
             )
+        if self.tenant_used is not None:
+            total = 0
+            for tenant, nbytes in self.tenant_used.items():
+                assert nbytes >= 0, (
+                    f"{self.name}: negative tenant usage "
+                    f"({tenant}: {nbytes})"
+                )
+                total += nbytes
+            assert total <= self.used, (
+                f"{self.name}: tenant ledgers exceed used "
+                f"({total} > {self.used})"
+            )
 
     def snapshot(self) -> dict:
         """Accounting snapshot for diagnostics and ``obs`` summaries."""
-        return {
+        snap = {
             "region": self.name,
             "capacity": self.capacity,
             "used": self.used,
@@ -139,6 +205,15 @@ class MemoryRegion:
             "unlimited": self.unlimited,
             "policy": getattr(self.policy, "name", None),
         }
+        if self.tenant_used is not None:
+            snap["tenants"] = {
+                tenant: {
+                    "used": nbytes,
+                    "quota": self.quota(tenant),
+                }
+                for tenant, nbytes in sorted(self.tenant_used.items())
+            }
+        return snap
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"MemoryRegion({self.name}, {self.used}+{self.reserved}r"

@@ -111,6 +111,16 @@ EV_MEM_PLAN_RESERVE = "memory/plan_reserve"
 #: memory planner computed at compile time (args: region, hop, nbytes).
 EV_MEMPLAN_SPILL = "memplan/spill"
 
+#: instant — a probe served by another session's cached entry on a
+#: shared substrate (args: owner, key, nbytes; ``repro.server``).
+EV_SERVER_CROSS_HIT = "server/cross_hit"
+#: instant — a block was refused admission by the shared substrate
+#: (args: tenant, region, nbytes; surfaced to schedulers as backpressure).
+EV_SERVER_BACKPRESSURE = "server/backpressure"
+#: instant — the scheduler dispatched one step of a request (args:
+#: tenant, request, step).
+EV_SERVER_STEP = "server/step"
+
 #: span — one federated request round-trip (submit -> last response).
 EV_FED_REQUEST = "fed/request"
 

@@ -226,6 +226,12 @@ class MetricsRegistry:
                        session.spark_mgr, session.gpu.memory):
             for name, value in source.metrics_gauges().items():
                 self.gauge(name).record(t, value)
+        # multi-tenant occupancy (shared substrate only): per-tenant CP
+        # usage plus the attached-session count, under server/
+        if session.substrate.shared:
+            for name, value in session.substrate.metrics_gauges().items():
+                self.gauge(name, "B" if name.endswith("cp_used")
+                           else "").record(t, value)
         self._sample_rates(t, session.stats)
 
     def _sample_rates(self, t: float, stats: Stats) -> None:

@@ -133,7 +133,7 @@ def run_fast(interp: "Interpreter", order: list[Hop],
     trace_on = mode is not ReuseMode.NONE
     clock = interp.clock
     stats = interp.stats
-    intern = interp.session.lineage_interner.intern
+    intern = interp.interner.intern
     data_slot = interp._data_slot
     trace_overhead = config.cpu.trace_overhead_s
 

@@ -103,6 +103,9 @@ class Interpreter:
         self.stats = session.stats
         self.clock = session.clock
         self.cache = session.cache
+        #: the substrate's hash-consing table (shared across sessions on
+        #: a shared substrate, so identical traces intern to one object).
+        self.interner = session.lineage_interner
         self.tracer = session.tracer
         self.faults = session.faults
         self.metrics = session.metrics
@@ -318,7 +321,7 @@ class Interpreter:
         counts every interned item; no probe or put runs, because fusion
         is only planned in reuse modes with no retention.
         """
-        intern = self.session.lineage_interner.intern
+        intern = self.interner.intern
         traced = 0
         if hop.prologue is not None:
             pro = hop.prologue
@@ -367,7 +370,7 @@ class Interpreter:
         mode = self.config.reuse_mode
         inputs = tuple(s.lineage for s in in_slots)
         attrs = hop.attrs
-        item = self.session.lineage_interner.intern(
+        item = self.interner.intern(
             hop.opcode, _attr_data(attrs) if attrs else (), inputs
         )
         if mode is not ReuseMode.NONE:

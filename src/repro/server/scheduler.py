@@ -1,0 +1,262 @@
+"""Deterministic multi-session scheduler for the shared substrate.
+
+The driver loop of the reuse server: requests are submitted per tenant,
+each gets its own :class:`~repro.core.session.Session` attached to the
+shared :class:`~repro.core.substrate.Substrate`, and a seeded
+``random.Random`` interleave decides which request advances at every
+scheduler step — many logical sessions, one deterministic execution
+order for a given seed.
+
+Programs are plain callables ``program(session) -> result``.  A program
+that wants to be *interleaved* mid-flight returns a generator instead:
+every ``yield`` is a scheduling point, and the generator's ``return``
+value becomes the request's result.  A program that returns a plain
+value simply runs to completion in one step.
+
+Admission refusals (:class:`~repro.common.errors.AdmissionError`, the
+strict quota/occupancy gate in ``Session.evaluate``) are backpressure,
+not failures: the scheduler restarts the request's program on the same
+session — reuse makes the replay cheap — up to ``max_retries`` times
+before marking it failed.
+"""
+
+from __future__ import annotations
+
+import random
+from types import GeneratorType
+from typing import Callable, Optional
+
+from repro.common.config import MemphisConfig
+from repro.common.errors import AdmissionError
+from repro.common.stats import (
+    SERVER_REQUESTS,
+    SERVER_STEPS,
+    Stats,
+)
+from repro.core.session import Session
+from repro.core.substrate import Substrate
+from repro.obs.events import EV_SERVER_STEP
+
+
+class Request:
+    """One submitted unit of work: a tenant and a program."""
+
+    __slots__ = ("tenant", "name", "program")
+
+    def __init__(self, tenant: str, program: Callable,
+                 name: str) -> None:
+        self.tenant = tenant
+        self.program = program
+        self.name = name
+
+
+class RequestResult:
+    """Outcome of one request after the scheduler drained it."""
+
+    __slots__ = ("name", "tenant", "ok", "value", "error", "steps",
+                 "retries")
+
+    def __init__(self, name: str, tenant: str) -> None:
+        self.name = name
+        self.tenant = tenant
+        self.ok = False
+        self.value = None
+        self.error: Optional[str] = None
+        self.steps = 0
+        self.retries = 0
+
+    def as_record(self) -> dict:
+        return {
+            "name": self.name,
+            "tenant": self.tenant,
+            "ok": self.ok,
+            "error": self.error,
+            "steps": self.steps,
+            "retries": self.retries,
+        }
+
+
+class _Task:
+    """Scheduler-internal live state of one request."""
+
+    __slots__ = ("request", "session", "gen", "result")
+
+    def __init__(self, request: Request, session: Session) -> None:
+        self.request = request
+        self.session = session
+        self.gen: Optional[GeneratorType] = None
+        self.result = RequestResult(request.name, request.tenant)
+
+
+class ServerReport:
+    """Aggregated outcome of one :meth:`Scheduler.run`."""
+
+    def __init__(self, substrate: Substrate,
+                 results: list[RequestResult],
+                 sessions: list[Session]) -> None:
+        self.results = results
+        #: substrate-level counters (cache + server namespaces).
+        self.substrate_counters = substrate.stats.counters()
+        #: per-tenant CP occupancy/quota snapshot.
+        self.tenants = substrate.tenant_occupancy()
+        #: merged counters across the substrate and every session.
+        merged = Stats().merge(substrate.stats)
+        for session in sessions:
+            merged.merge(session.stats)
+        self.merged = merged
+
+    @property
+    def ok(self) -> bool:
+        return all(r.ok for r in self.results)
+
+    def counter(self, name: str) -> int:
+        return self.merged.get(name)
+
+    def server_counter(self, name: str) -> int:
+        return self.substrate_counters.get(name, 0)
+
+    def as_record(self) -> dict:
+        """Deterministic JSON-friendly snapshot (smoke/CI comparisons)."""
+        return {
+            "ok": self.ok,
+            "requests": [r.as_record() for r in self.results],
+            "server": {
+                name: count
+                for name, count in sorted(self.substrate_counters.items())
+                if name.startswith("server/")
+                or name.startswith("cache/")
+            },
+            "tenants": self.tenants,
+        }
+
+    def format(self) -> str:
+        lines = ["=== server report ==="]
+        for r in self.results:
+            status = "ok" if r.ok else f"FAILED ({r.error})"
+            lines.append(
+                f"  {r.name:<12s} tenant={r.tenant:<8s} "
+                f"steps={r.steps:<4d} retries={r.retries} {status}"
+            )
+        for name in ("server/sessions_attached",
+                     "server/cross_session_hits",
+                     "server/dedup_bytes_saved",
+                     "server/blocks_admitted",
+                     "server/backpressure_events",
+                     "server/quota_refusals"):
+            lines.append(f"  {name:<32s} {self.server_counter(name):>12d}")
+        for tenant, occ in self.tenants.items():
+            quota = occ["quota"] if occ["quota"] is not None else "-"
+            lines.append(
+                f"  tenant {tenant:<8s} cp_used={occ['used']:<12d} "
+                f"quota={quota} pinned_entries={occ['pinned_entries']}"
+            )
+        return "\n".join(lines)
+
+
+class Scheduler:
+    """Run many sessions against one shared substrate, deterministically.
+
+    ``seed`` fixes the interleave: every scheduler step draws the next
+    runnable request from a ``random.Random(seed)``, so two runs with
+    the same seed and submissions execute identically (same hit/miss
+    sequence, same counters, same results).
+    """
+
+    def __init__(self, substrate: Optional[Substrate] = None, *,
+                 config: Optional[MemphisConfig] = None,
+                 config_factory: Optional[Callable[[], MemphisConfig]] = None,
+                 seed: int = 0, max_retries: int = 8) -> None:
+        self.config = config or MemphisConfig.server_session()
+        self.substrate = substrate if substrate is not None \
+            else Substrate.shared_substrate(self.config)
+        #: fresh per-session config (auto-tuning mutates per-session
+        #: knobs, so sessions must not alias one config object).
+        self._config_factory = config_factory or MemphisConfig.server_session
+        self.seed = seed
+        self.max_retries = max_retries
+        self._requests: list[Request] = []
+        self.sessions: list[Session] = []
+
+    # -- submission ----------------------------------------------------------
+
+    def add_tenant(self, name: str,
+                   cp_quota: Optional[int] = None) -> None:
+        """Register a tenant (optionally with a CP fair-share quota)."""
+        self.substrate.set_quota(name, cp_quota)
+
+    def submit(self, tenant: str, program: Callable,
+               name: Optional[str] = None) -> Request:
+        """Queue ``program`` to run as ``tenant``; returns the request."""
+        request = Request(
+            tenant, program,
+            name if name is not None else f"r{len(self._requests)}",
+        )
+        self._requests.append(request)
+        self.substrate.stats.inc(SERVER_REQUESTS)
+        return request
+
+    # -- driver loop ---------------------------------------------------------
+
+    def run(self) -> ServerReport:
+        """Drain the request queue; returns the aggregated report."""
+        rng = random.Random(self.seed)
+        tasks = []
+        for request in self._requests:
+            # sessions attach in submit order, so uids — and therefore
+            # key namespaces — are deterministic
+            session = Session(
+                self._config_factory(), substrate=self.substrate,
+                tenant=request.tenant,
+            )
+            self.sessions.append(session)
+            tasks.append(_Task(request, session))
+        self._requests = []
+        active = list(tasks)
+        while active:
+            index = rng.randrange(len(active)) if len(active) > 1 else 0
+            if self._step(active[index]):
+                active.pop(index)
+        self.substrate.activate(None)
+        return ServerReport(self.substrate, [t.result for t in tasks],
+                            self.sessions)
+
+    def _step(self, task: _Task) -> bool:
+        """Advance one request by one scheduling quantum; True = done."""
+        substrate = self.substrate
+        substrate.stats.inc(SERVER_STEPS)
+        task.result.steps += 1
+        substrate.activate(task.session._ctx)
+        if substrate.tracer.enabled:
+            substrate.tracer.instant(
+                EV_SERVER_STEP, tenant=task.request.tenant,
+                request=task.request.name, step=task.result.steps,
+            )
+        try:
+            if task.gen is None:
+                out = task.request.program(task.session)
+                if isinstance(out, GeneratorType):
+                    task.gen = out
+                    return False
+                task.result.value = out
+                task.result.ok = True
+                return True
+            next(task.gen)
+            return False
+        except StopIteration as stop:
+            task.result.value = stop.value
+            task.result.ok = True
+            return True
+        except AdmissionError as exc:
+            # backpressure: the generator (if any) died with the raise,
+            # so restart the program on the same session — reuse makes
+            # the replay cheap — until the retry budget runs out
+            task.gen = None
+            task.result.retries += 1
+            if task.result.retries > self.max_retries:
+                task.result.error = f"admission refused: {exc}"
+                return True
+            return False
+        except Exception as exc:  # noqa: BLE001 - fault isolation
+            # one tenant's failure must not take the server down
+            task.result.error = f"{type(exc).__name__}: {exc}"
+            return True

@@ -289,6 +289,89 @@ TestRegionLedgerStateful.settings = settings(
 )
 
 
+class _TenantChunk:
+    """Model of one committed, tenant-attributed allocation."""
+
+    __slots__ = ("size", "tenant")
+
+    def __init__(self, size, tenant):
+        self.size = size
+        self.tenant = tenant
+
+
+class TenantLedgerMachine(RuleBasedStateMachine):
+    """Random tenant-attributed acquire/release/quota sequences keep the
+    per-tenant sub-ledger exact (multi-tenant server, docs/SERVER.md):
+
+    * ``MemoryRegion.check`` holds (every tenant usage >= 0, and the sum
+      of tenant usage never exceeds the region's ``used``);
+    * each tenant's usage matches the model's outstanding chunks;
+    * quota headroom is consistent with quota and usage.
+    """
+
+    CAPACITY = 10_000
+    TENANTS = ("alpha", "beta", "gamma")
+
+    def __init__(self):
+        super().__init__()
+        self.arb = MemoryArbiter(Stats())
+        self.region = self.arb.add_region("R", self.CAPACITY)
+        self.chunks = []
+
+    @rule(size=st.integers(min_value=1, max_value=2000),
+          tenant=st.sampled_from(TENANTS))
+    def acquire_for_tenant(self, size, tenant):
+        if not self.region.fits(size):
+            return
+        self.arb.acquire("R", size)
+        self.arb.charge_tenant("R", tenant, size)
+        self.chunks.append(_TenantChunk(size, tenant))
+
+    @precondition(lambda self: self.chunks)
+    @rule(data=st.data())
+    def release_chunk(self, data):
+        chunk = self.chunks.pop(
+            data.draw(st.integers(0, len(self.chunks) - 1)))
+        self.arb.release("R", chunk.size)
+        self.arb.charge_tenant("R", chunk.tenant, -chunk.size)
+
+    @rule(tenant=st.sampled_from(TENANTS),
+          quota=st.one_of(st.none(),
+                          st.integers(min_value=0, max_value=12_000)))
+    def set_quota(self, tenant, quota):
+        self.arb.set_quota("R", tenant, quota)
+
+    @invariant()
+    def ledger_invariants_hold(self):
+        self.region.check()
+
+    @invariant()
+    def tenant_usage_matches_model(self):
+        for tenant in self.TENANTS:
+            expected = sum(
+                c.size for c in self.chunks if c.tenant == tenant)
+            assert self.arb.tenant_usage("R", tenant) == expected
+
+    @invariant()
+    def headroom_consistent(self):
+        for tenant in self.TENANTS:
+            headroom = self.arb.quota_headroom("R", tenant)
+            quota = self.region.quota(tenant)
+            if quota is None:
+                assert headroom is None
+            else:
+                used = self.arb.tenant_usage("R", tenant)
+                # negative headroom = over quota (quota set below usage)
+                assert headroom == quota - used
+                assert self.arb.over_quota("R", tenant) == (used > quota)
+
+
+TestTenantLedgerStateful = TenantLedgerMachine.TestCase
+TestTenantLedgerStateful.settings = settings(
+    max_examples=40, stateful_step_count=50, deadline=None
+)
+
+
 class BufferPoolMachine(RuleBasedStateMachine):
     """Random put/get/pin/unpin/remove sequences on the buffer pool keep
     the ``CPU_BP`` region exact and never spill a pinned block."""
