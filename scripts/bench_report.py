@@ -22,6 +22,7 @@ Usage::
         --baseline benchmarks/baselines/wallclock_baseline.json
     python scripts/bench_report.py --validate-wallclock BENCH_wallclock.json
     python scripts/bench_report.py --fusion-gate   # fused-vs-unfused gate
+    python scripts/bench_report.py --server 8 --server-seed 7
 """
 
 from __future__ import annotations
@@ -51,6 +52,9 @@ ISSUE = 5
 
 #: the issue number of the wall-clock track (BENCH_wallclock.json).
 WALLCLOCK_ISSUE = 6
+
+#: the issue number of the server observability track (BENCH_server.json).
+SERVER_ISSUE = 10
 
 #: quick experiments CI can afford on every push.
 FAST_SUBSET = ("fig2c", "fig2d", "fig11a", "fig12b")
@@ -142,6 +146,62 @@ def run_wallclock(fast: bool, out_path: str | None,
         print(f"OK: no wall-clock regressions vs {baseline_path} "
               f"(tolerance {tolerance:.0%})")
     return 0
+
+
+def run_server_bench(sessions: int, seed: int,
+                     out_path: str | None) -> int:
+    """Run the multi-tenant server demo through the bench pipeline.
+
+    The server run's *merged* counters (substrate + every session)
+    become one bench experiment record, so the schema-validated
+    ``BENCH_server.json`` document carries the same key counters the
+    simulated-time experiments report — plus every ``server/`` counter
+    — and CI can gate on it like any other report.
+    """
+    from repro.common.simclock import HOST
+    from repro.harness.telemetry import (
+        server_report_records,
+        validate_server_records,
+    )
+    from repro.server import run_server_demo
+
+    start = time.time()
+    report = run_server_demo(sessions, seed=seed)
+    wall = time.time() - start
+    merged = report.merged.counters()
+    sim_time = sum(s.clock.now(HOST) for s in report.sessions)
+    record = {
+        "name": f"server_demo[{sessions}s,seed{seed}]",
+        "wall_s": float(wall),
+        "sim_time_s": float(sim_time),
+        "workloads": len(report.results),
+        "counters": {name: int(count)
+                     for name, count in sorted(merged.items())},
+        "metric_series": {},
+    }
+    print(f"[server: {len(report.results)} request(s), "
+          f"{record['counters'].get('server/cross_session_hits', 0)} "
+          f"cross-session hit(s), wall {wall:.1f}s]")
+    problems = validate_server_records(
+        server_report_records(report, sessions, seed))
+    if problems:
+        for p in problems:
+            print(f"  server schema: {p}")
+        print("FAIL: server SLO records do not validate")
+        return 1
+    doc = build_bench_report([record], issue=SERVER_ISSUE)
+    problems = validate_bench_report(doc)
+    if problems:
+        for p in problems:
+            print(f"  schema: {p}")
+        print("FAIL: generated server bench report does not validate")
+        return 1
+    out = out_path or os.path.join(REPO, "BENCH_server.json")
+    with open(out, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"[server bench report -> {out}]")
+    return 0 if report.ok else 1
 
 
 #: gate workloads where fusion must fire: instruction count AND
@@ -311,10 +371,19 @@ def main(argv: list[str] | None = None) -> int:
                         help="run the fused-vs-unfused instruction-count "
                              "gate: instcount must strictly drop on "
                              "cell-wise chains and never rise elsewhere")
+    parser.add_argument("--server", metavar="N", type=int, default=None,
+                        help="run the multi-tenant server demo with N "
+                             "sessions and emit its merged counters as a "
+                             "schema-validated BENCH_server.json")
+    parser.add_argument("--server-seed", metavar="SEED", type=int, default=0,
+                        help="with --server: deterministic interleave seed")
     args = parser.parse_args(argv)
 
     if args.fusion_gate:
         return run_fusion_gate()
+
+    if args.server is not None:
+        return run_server_bench(args.server, args.server_seed, args.out)
 
     if args.validate_wallclock is not None:
         with open(args.validate_wallclock, "r", encoding="utf-8") as fh:

@@ -1,0 +1,147 @@
+#!/usr/bin/env python
+"""Server observability report: per-tenant SLO table + attribution matrix.
+
+Runs the multi-tenant reuse server demo (or validates an existing JSONL
+stream) and renders the request-observability surfaces of issue 10:
+
+* a per-tenant SLO table — request latency p50/p99 on the sim clock,
+  hit rate, dedup bytes produced/consumed, quota headroom, and
+  backpressure/admission-refusal counts;
+* the producer→consumer cost-attribution matrix (bytes and Eq. 2
+  recompute cost avoided by cross-session hits);
+* the schema-validated ``SERVER`` JSONL stream — byte-reproducible for
+  a fixed seed, so CI can diff two runs directly.
+
+Usage::
+
+    python scripts/server_report.py                       # 8 sessions, seed 0
+    python scripts/server_report.py --sessions 8 --seed 7 --out out.jsonl
+    python scripts/server_report.py --validate out.jsonl
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO, "src"))
+
+from repro.harness.telemetry import (  # noqa: E402
+    read_server_jsonl,
+    server_report_records,
+    validate_server_records,
+    write_server_jsonl,
+)
+from repro.server import run_server_demo  # noqa: E402
+
+
+def _fmt_quota(value) -> str:
+    return str(value) if value is not None else "-"
+
+
+def render_slo_table(slo: dict[str, dict]) -> str:
+    """Fixed-width per-tenant SLO table."""
+    header = (
+        f"{'tenant':<10s} {'req':>7s} {'p50_s':>12s} {'p99_s':>12s} "
+        f"{'hit_rate':>8s} {'dedup_in':>10s} {'dedup_out':>10s} "
+        f"{'headroom':>10s} {'bp':>4s} {'refused':>7s}"
+    )
+    lines = [header, "-" * len(header)]
+    for tenant in sorted(slo):
+        row = slo[tenant]
+        lines.append(
+            f"{tenant:<10s} "
+            f"{row['completed']}/{row['requests']:<5d} "
+            f"{row['latency_p50_s']:>12.6f} {row['latency_p99_s']:>12.6f} "
+            f"{row['hit_rate']:>8.3f} "
+            f"{row['dedup_bytes_consumed']:>10d} "
+            f"{row['dedup_bytes_produced']:>10d} "
+            f"{_fmt_quota(row['quota_headroom']):>10s} "
+            f"{row['backpressure_events']:>4d} "
+            f"{row['admission_refusals']:>7d}"
+        )
+    return "\n".join(lines)
+
+
+def render_attribution(matrix: list[dict]) -> str:
+    """Producer→consumer benefit matrix, one row per pair."""
+    if not matrix:
+        return "(no cross-session hits)"
+    header = (
+        f"{'producer':<10s} {'consumer':<10s} {'hits':>6s} "
+        f"{'bytes':>12s} {'cost_avoided':>14s}"
+    )
+    lines = [header, "-" * len(header)]
+    for cell in matrix:
+        lines.append(
+            f"{cell['producer']:<10s} {cell['consumer']:<10s} "
+            f"{cell['hits']:>6d} {cell['bytes']:>12d} "
+            f"{cell['cost_avoided']:>14.3e}"
+        )
+    return "\n".join(lines)
+
+
+def validate_file(path: str) -> int:
+    records = read_server_jsonl(path)
+    problems = validate_server_records(records)
+    if problems:
+        for p in problems:
+            print(f"  schema: {p}")
+        print(f"FAIL: {len(problems)} problem(s) in {path}")
+        return 1
+    kinds = [r.get("kind") for r in records]
+    print(f"OK: {path} is a valid server report "
+          f"({kinds.count('request')} request(s), "
+          f"{kinds.count('tenant_slo')} tenant(s), "
+          f"{kinds.count('attribution')} attribution cell(s))")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python scripts/server_report.py",
+        description="Render the per-tenant SLO table and cost-attribution "
+                    "matrix of a multi-tenant server run.",
+    )
+    parser.add_argument("--sessions", type=int, default=8,
+                        help="number of concurrent sessions (default 8)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="deterministic interleave seed (default 0)")
+    parser.add_argument("--out", metavar="OUT.jsonl", default=None,
+                        help="also write the SERVER_SCHEMA JSONL stream")
+    parser.add_argument("--validate", metavar="PATH", default=None,
+                        help="validate an existing JSONL stream and exit")
+    args = parser.parse_args(argv)
+
+    if args.validate is not None:
+        return validate_file(args.validate)
+
+    report = run_server_demo(args.sessions, seed=args.seed)
+    print("=== per-tenant SLO ===")
+    print(render_slo_table(report.slo))
+    print()
+    print("=== cost attribution (producer -> consumer) ===")
+    print(render_attribution(report.attribution))
+    if report.flight_dumps:
+        print()
+        print("=== flight-recorder dumps ===")
+        for dump in report.flight_dumps:
+            print(f"  {dump['reason']}: request={dump['request_id']} "
+                  f"tenant={dump['tenant']} events={len(dump['events'])}")
+    records = server_report_records(report, args.sessions, args.seed)
+    problems = validate_server_records(records)
+    if problems:
+        for p in problems:
+            print(f"  schema: {p}")
+        print("FAIL: generated records do not validate")
+        return 1
+    if args.out:
+        write_server_jsonl(args.out, records)
+        print(f"\n[server report: {len(records)} records -> {args.out}]")
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

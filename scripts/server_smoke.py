@@ -12,7 +12,10 @@ the same interleave seed and checks the promises the server makes:
 * two same-seed runs are byte-identical (same schedule, same counters,
   same per-request outcomes) and a different seed changes the schedule
   but never the answers;
-* the ``--server`` harness mode works end-to-end as a subprocess.
+* the ``--server`` harness mode works end-to-end as a subprocess;
+* ``--server-report`` emits a ``SERVER_SCHEMA``-valid JSONL stream
+  with a **non-empty attribution matrix** (the pure pipelines must
+  credit a producer tenant), byte-identical across same-seed runs.
 
 Usage::
 
@@ -25,6 +28,7 @@ import json
 import os
 import subprocess
 import sys
+import tempfile
 
 REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 sys.path.insert(0, os.path.join(REPO, "src"))
@@ -32,6 +36,10 @@ sys.path.insert(0, os.path.join(REPO, "src"))
 from repro.common.stats import (  # noqa: E402
     SERVER_CROSS_HITS,
     SERVER_DEDUP_BYTES,
+)
+from repro.harness.telemetry import (  # noqa: E402
+    read_server_jsonl,
+    validate_server_records,
 )
 from repro.server import run_server_demo  # noqa: E402
 
@@ -88,7 +96,41 @@ def main() -> None:
     if "=== server report ===" not in proc.stdout:
         fail("harness --server did not print the server report")
 
-    print("OK: server smoke passed (cross-session dedup + determinism)")
+    # SLO/attribution JSONL stream: schema-valid, attribution non-empty,
+    # byte-identical for the same seed (issue 10)
+    with tempfile.TemporaryDirectory() as tmp:
+        streams = []
+        for i in range(2):
+            out = os.path.join(tmp, f"server{i}.jsonl")
+            proc = subprocess.run(
+                [sys.executable, "-m", "repro.harness", "--server", "4",
+                 "--server-seed", "11", "--server-report", out],
+                capture_output=True, text=True, env=env, timeout=600,
+            )
+            if proc.returncode != 0:
+                print(proc.stdout)
+                print(proc.stderr)
+                fail(f"--server-report run exited with {proc.returncode}")
+            with open(out, "rb") as fh:
+                streams.append(fh.read())
+            records = read_server_jsonl(out)
+        problems = validate_server_records(records)
+        if problems:
+            for p in problems:
+                print(f"  schema: {p}")
+            fail("--server-report stream violates SERVER_SCHEMA")
+        if streams[0] != streams[1]:
+            fail("same-seed --server-report streams are not byte-identical")
+        attribution = [r for r in records if r.get("kind") == "attribution"]
+        if not attribution:
+            fail("attribution matrix is empty — cross-session hits "
+                 "credited no producer tenant")
+        slo = [r for r in records if r.get("kind") == "tenant_slo"]
+        print(f"[server report: {len(slo)} tenant SLO row(s), "
+              f"{len(attribution)} attribution cell(s)]")
+
+    print("OK: server smoke passed (cross-session dedup + determinism "
+          "+ SLO/attribution stream)")
 
 
 if __name__ == "__main__":

@@ -83,6 +83,17 @@ class Stats:
         if spills:
             out["cache/restore_rate"] = \
                 self._counters.get(CACHE_RESTORES, 0) / spills
+        # server ratios render under the same ``server/`` heading as the
+        # raw counters; gated on sessions_attached so single-session
+        # runs never grow a server section
+        if self._counters.get(SERVER_SESSIONS, 0):
+            if probes:
+                out["server/cross_session_hit_rate"] = \
+                    self._counters.get(SERVER_CROSS_HITS, 0) / probes
+            steps = self._counters.get(SERVER_STEPS, 0)
+            if steps:
+                out["server/backpressure_rate"] = \
+                    self._counters.get(SERVER_BACKPRESSURE, 0) / steps
         return out
 
     def report(self) -> str:

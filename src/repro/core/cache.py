@@ -149,6 +149,9 @@ class LineageCache:
             key = scope.namespaced(key)
         self._logical_time += 1
         self.stats.inc(LINEAGE_PROBES)
+        if scope is not None:
+            # per-tenant probe tally feeds the server SLO hit-rate rows
+            scope.substrate.note_tenant_event(scope.tenant, "probes")
         entry = self._entries.get(key)
         if entry is None:
             self.stats.inc(CACHE_MISSES)
@@ -212,6 +215,9 @@ class LineageCache:
             if scope is not None:
                 entry.owner = scope.uid
                 entry.tenant = scope.tenant
+                request = scope.request
+                if request is not None:
+                    entry.request = request.request_id
             entries[key] = entry
         entry.seen_count += 1
         entry.last_access = now
@@ -325,6 +331,9 @@ class LineageCache:
         from repro.common.stats import SERVER_QUOTA_REFUSALS
 
         self.stats.inc(SERVER_QUOTA_REFUSALS)
+        scope = self._scope
+        if scope is not None:
+            scope.substrate.note_tenant_event(tenant, "quota_refusals")
         return False
 
     def _cp_victim(self) -> Optional[CacheEntry]:

@@ -37,7 +37,7 @@ class CacheEntry:
         "key", "status", "payloads", "size", "compute_cost", "height",
         "hits", "misses", "jobs", "last_access", "seen_count",
         "is_function", "rdd_materialized", "outputs", "cp_accounted",
-        "owner", "tenant", "pinned",
+        "owner", "tenant", "request", "pinned",
     )
 
     def __init__(self, key: LineageItem, compute_cost: float = 0.0,
@@ -71,6 +71,10 @@ class CacheEntry:
         #: attributed to.  ``None`` on private (single-session) caches.
         self.owner: Optional[int] = None
         self.tenant: Optional[str] = None
+        #: producer request id (``repro.obs.request``): which server
+        #: request first put this entry — what cost-attribution events
+        #: report as ``producer_request``.  ``None`` outside a request.
+        self.request: Optional[str] = None
         #: tenant-pinned entries are never offered as eviction victims.
         self.pinned = False
 

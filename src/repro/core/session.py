@@ -220,6 +220,10 @@ class Session:
         self.gpu.memory.on_invalidate = self.cache.on_gpu_invalidate
         self.interpreter = Interpreter(self)
         self.delay_factor = self.config.cache.delay_factor
+        #: bound server request (``repro.obs.request``): set by the
+        #: scheduler via :meth:`bind_request`; ``None`` for standalone
+        #: sessions, at zero hot-path cost.
+        self.request = None
         #: named input datasets, kept for lineage-based recovery: when a
         #: cached intermediate is lost to a fault, RECOMPUTE replays its
         #: trace from these roots (§3.2).
@@ -452,6 +456,21 @@ class Session:
         the substrate is private)."""
         if self._ctx is not None:
             self.substrate.activate(self._ctx)
+
+    def bind_request(self, ctx) -> None:
+        """Bind a server :class:`~repro.obs.request.RequestContext`.
+
+        While bound, every event this session's stack emits — dispatch
+        spans, arbiter/cache instants, verifier diagnostics — carries
+        the request's ``request_id``/``tenant`` args, and entries the
+        shared cache creates record the request as their producer.
+        Pass ``None`` to unbind.  Zero overhead when untraced: binding
+        a :data:`~repro.obs.tracer.NULL_TRACER` is a no-op.
+        """
+        self.request = ctx
+        if self._ctx is not None:
+            self._ctx.request = ctx
+        self.tracer.bind_request(ctx)
 
     def evaluate(self, handles: Sequence[MatrixHandle]) -> None:
         """Compile and execute the DAGs of ``handles`` (one basic block)."""

@@ -74,8 +74,12 @@ from repro.lineage.item import (
     LineageItem,
 )
 from repro.memory import REGION_CP, MemoryArbiter, shared_demands
-from repro.obs.events import EV_SERVER_BACKPRESSURE, EV_SERVER_CROSS_HIT
-from repro.obs.tracer import NULL_TRACER
+from repro.obs.events import (
+    EV_SERVER_ATTRIBUTION,
+    EV_SERVER_BACKPRESSURE,
+    EV_SERVER_CROSS_HIT,
+)
+from repro.obs.tracer import NULL_TRACER, current_collector
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.session import Session
@@ -106,7 +110,7 @@ class SessionContext:
     attributed to, and the session's dataset fingerprints.
     """
 
-    __slots__ = ("substrate", "uid", "tenant", "fingerprints")
+    __slots__ = ("substrate", "uid", "tenant", "fingerprints", "request")
 
     def __init__(self, substrate: "Substrate", uid: int,
                  tenant: str) -> None:
@@ -116,6 +120,11 @@ class SessionContext:
         #: dataset name -> content fingerprint, as registered by *this*
         #: session's ``read()`` calls.
         self.fingerprints: dict[str, str] = {}
+        #: active :class:`~repro.obs.request.RequestContext` (set by
+        #: ``Session.bind_request``): stamps producer provenance onto
+        #: cache entries and attribution events.  ``None`` outside a
+        #: server request.
+        self.request = None
 
     # -- key namespacing ----------------------------------------------------
 
@@ -140,16 +149,34 @@ class SessionContext:
                 or BACKEND_DISK in entry.payloads)
 
     def note_hit(self, entry: CacheEntry) -> None:
-        """Account a probe hit; cross-owner hits are deduplication wins."""
+        """Account a probe hit; cross-owner hits are deduplication wins.
+
+        Every cross-owner hit is also *attributed*: the producer tenant
+        recorded on the entry at put time is credited with ``entry.size``
+        bytes and the entry's recompute cost (the Eq. 2 benefit the
+        consumer avoided), aggregated into the substrate's per-tenant-pair
+        benefit matrix and — when tracing — emitted as a
+        ``server/attribution`` instant.
+        """
+        sub = self.substrate
+        sub.note_tenant_event(self.tenant, "hits")
         owner = entry.owner
         if owner is None or owner == self.uid:
             return
-        sub = self.substrate
         sub.stats.inc(SERVER_CROSS_HITS)
         sub.stats.inc(SERVER_DEDUP_BYTES, entry.size)
+        producer = entry.tenant if entry.tenant is not None else "default"
+        sub.note_attribution(producer, self.tenant, entry.size,
+                             entry.compute_cost)
         if sub.tracer.enabled:
             sub.tracer.instant(EV_SERVER_CROSS_HIT, owner=owner,
                                key=entry.key.id, nbytes=entry.size)
+            sub.tracer.instant(
+                EV_SERVER_ATTRIBUTION, producer=producer,
+                consumer=self.tenant, producer_request=entry.request,
+                key=entry.key.id, nbytes=entry.size,
+                cost_avoided=entry.compute_cost,
+            )
 
     # -- admission (fair-share gate) ----------------------------------------
 
@@ -168,6 +195,7 @@ class SessionContext:
         quota = sub.arbiter.region(REGION_CP).quota(self.tenant)
         if quota is not None and cp_demand > quota:
             sub.stats.inc(SERVER_QUOTA_REFUSALS)
+            sub.note_tenant_event(self.tenant, "admission_refusals")
             self._backpressure(REGION_CP, cp_demand)
             raise AdmissionError(
                 f"block CP demand {cp_demand} exceeds tenant "
@@ -176,6 +204,7 @@ class SessionContext:
             )
         reservation = sub.arbiter.reserve_plan(shared, strict=True)
         if reservation is None:
+            sub.note_tenant_event(self.tenant, "admission_refusals")
             self._backpressure(REGION_CP, cp_demand)
             raise AdmissionError(
                 f"shared substrate cannot admit block "
@@ -190,6 +219,7 @@ class SessionContext:
     def _backpressure(self, region: str, nbytes: int) -> None:
         sub = self.substrate
         sub.stats.inc(SERVER_BACKPRESSURE)
+        sub.note_tenant_event(self.tenant, "backpressure_events")
         sub.arbiter.notify_pressure(region, nbytes)
         if sub.tracer.enabled:
             sub.tracer.instant(EV_SERVER_BACKPRESSURE, tenant=self.tenant,
@@ -254,6 +284,16 @@ class Substrate:
         self.shared = shared
         self.stats = stats if stats is not None else Stats()
         self.clock = clock if clock is not None else SimClock()
+        if tracer is None and shared:
+            # ambient-wins, like Session: a shared substrate created
+            # under ``obs.tracing()`` (harness --trace, tests) traces
+            # its cross-hit/backpressure/attribution events into the
+            # collector instead of silently dropping them.  Private
+            # substrates always receive the owning session's tracer.
+            collector = current_collector()
+            if collector is not None:
+                tracer = collector.tracer(self.clock, label="substrate",
+                                          stats=self.stats)
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.arbiter = MemoryArbiter(
             self.stats, tracer=self.tracer, faults=faults
@@ -267,6 +307,13 @@ class Substrate:
         self.interner = LineageInterner()
         #: tenant name -> CP quota bytes (None = registered, no cap).
         self.tenants: dict[str, Optional[int]] = {}
+        #: (producer tenant, consumer tenant) -> dedup benefit tallies
+        #: (hits, bytes, Eq. 2 recompute cost avoided).  Fed by
+        #: ``SessionContext.note_hit`` on every cross-session hit.
+        self.attribution: dict[tuple[str, str], dict[str, float]] = {}
+        #: tenant -> backpressure/admission-refusal/quota-refusal counts
+        #: (the per-tenant split of the global ``server/`` counters).
+        self.tenant_events: dict[str, dict[str, int]] = {}
         #: dataset name -> canonical (first-registered) fingerprint.
         self._canonical_fp: dict[str, str] = {}
         #: purity/shareability memo over lineage DAGs.  Keyed by the
@@ -364,6 +411,45 @@ class Substrate:
 
     # -- observability -------------------------------------------------------
 
+    def note_attribution(self, producer: str, consumer: str,
+                         nbytes: int, cost: float) -> None:
+        """Credit one cross-session hit to its producer→consumer pair."""
+        cell = self.attribution.get((producer, consumer))
+        if cell is None:
+            cell = self.attribution[(producer, consumer)] = {
+                "hits": 0, "bytes": 0, "cost_avoided": 0.0,
+            }
+        cell["hits"] += 1
+        cell["bytes"] += nbytes
+        cell["cost_avoided"] += cost
+
+    def note_tenant_event(self, tenant: str, kind: str) -> None:
+        """Tally one per-tenant control-plane event (refusal class)."""
+        events = self.tenant_events.get(tenant)
+        if events is None:
+            events = self.tenant_events[tenant] = {}
+        events[kind] = events.get(kind, 0) + 1
+
+    def attribution_matrix(self) -> list[dict]:
+        """The producer→consumer benefit matrix, deterministically ordered.
+
+        One record per tenant pair with at least one cross-session hit:
+        who produced, who consumed, how many hits, how many bytes were
+        deduplicated, and the summed recompute cost (Eq. 2's benefit
+        term) the consumer avoided.
+        """
+        out = []
+        for (producer, consumer) in sorted(self.attribution):
+            cell = self.attribution[(producer, consumer)]
+            out.append({
+                "producer": producer,
+                "consumer": consumer,
+                "hits": int(cell["hits"]),
+                "bytes": int(cell["bytes"]),
+                "cost_avoided": float(cell["cost_avoided"]),
+            })
+        return out
+
     def tenant_occupancy(self) -> dict[str, dict[str, int]]:
         """Per-tenant CP usage/quota snapshot (``server/`` namespace)."""
         region = self.arbiter.region(REGION_CP)
@@ -387,6 +473,16 @@ class Substrate:
             out[f"server/tenant/{tenant}/cp_used"] = float(
                 region.tenant_usage(tenant)
             )
+            headroom = region.quota_headroom(tenant)
+            if headroom is not None:
+                out[f"server/tenant/{tenant}/quota_headroom"] = \
+                    float(headroom)
+        dedup: dict[str, int] = {}
+        for (producer, _), cell in self.attribution.items():
+            dedup[producer] = dedup.get(producer, 0) + int(cell["bytes"])
+        for tenant, nbytes in dedup.items():
+            out[f"server/tenant/{tenant}/dedup_bytes_produced"] = \
+                float(nbytes)
         out["server/sessions"] = float(self._next_uid - 1)
         return out
 
@@ -415,4 +511,6 @@ def clear_ambient_substrate() -> None:
         substrate = _AMBIENT[0]
         substrate.activate(None)
         substrate.tenants.clear()
+        substrate.attribution.clear()
+        substrate.tenant_events.clear()
     _AMBIENT.clear()

@@ -101,6 +101,11 @@ def main(argv: list[str] | None = None) -> int:
                         help="interleave seed for --server (default 0); "
                              "the same seed reproduces the identical "
                              "schedule, counters, and results")
+    parser.add_argument("--server-report", metavar="OUT.jsonl", default=None,
+                        help="with --server: also write the machine-"
+                             "readable per-tenant SLO / attribution "
+                             "stream (SERVER_SCHEMA JSONL, byte-"
+                             "reproducible for a fixed --server-seed)")
     parser.add_argument("--fusion", action="store_true",
                         help="enable the reuse-aware operator fusion "
                              "rewrite on every session (chains of "
@@ -120,6 +125,19 @@ def main(argv: list[str] | None = None) -> int:
         start = time.time()
         report = run_server_demo(args.server, seed=args.server_seed)
         print(report.format())
+        if args.server_report:
+            from repro.harness.telemetry import (
+                assert_valid_server_records,
+                server_report_records,
+                write_server_jsonl,
+            )
+
+            records = server_report_records(report, args.server,
+                                            args.server_seed)
+            assert_valid_server_records(records, context=args.server_report)
+            write_server_jsonl(args.server_report, records)
+            print(f"[server report: {len(records)} records -> "
+                  f"{args.server_report}]")
         print(f"[server: {args.server} session(s), seed {args.server_seed}, "
               f"{time.time() - start:.1f}s wall]")
         return 0 if report.ok else 1

@@ -25,6 +25,12 @@ from repro.obs.events import (
 #: stable thread id per lane (also the top-to-bottom display order).
 LANE_TIDS = {lane: i + 1 for i, lane in enumerate(LANES)}
 
+#: tid offset between successive per-tenant lane groups: events carrying
+#: a ``tenant`` arg (request-scoped tracing, ``repro.obs.request``) get
+#: their own ``<lane> [<tenant>]`` thread row so a multi-tenant server
+#: trace renders one lane group per tenant under each session process.
+TENANT_LANE_STRIDE = 16
+
 _S_TO_US = 1e6
 
 #: counter-track rows: ``(session_id, series_name, [(t_seconds, value)])``
@@ -44,19 +50,27 @@ def chrome_trace_dict(events: Iterable[Event],
     labels = session_labels or {}
     trace_events: list[dict] = []
     seen: set[tuple[int, str]] = set()
+    #: tenant -> lane-group index, in first-seen (deterministic) order.
+    tenant_groups: dict[str, int] = {}
 
     for event in events:
         pid = event.session if event.session >= 0 else 0
         tid = LANE_TIDS.get(event.lane, len(LANE_TIDS) + 1)
-        if (pid, event.lane) not in seen:
-            seen.add((pid, event.lane))
+        lane_label = event.lane
+        tenant = event.args.get("tenant") if event.args else None
+        if tenant is not None:
+            group = tenant_groups.setdefault(tenant, len(tenant_groups))
+            tid += (group + 1) * TENANT_LANE_STRIDE
+            lane_label = f"{event.lane} [{tenant}]"
+        if (pid, lane_label) not in seen:
+            seen.add((pid, lane_label))
             trace_events.append({
                 "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
                 "args": {"name": labels.get(pid, f"session-{pid}")},
             })
             trace_events.append({
                 "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
-                "args": {"name": event.lane},
+                "args": {"name": lane_label},
             })
             trace_events.append({
                 "name": "thread_sort_index", "ph": "M", "pid": pid,

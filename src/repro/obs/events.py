@@ -120,6 +120,16 @@ EV_SERVER_BACKPRESSURE = "server/backpressure"
 #: instant — the scheduler dispatched one step of a request (args:
 #: tenant, request, step).
 EV_SERVER_STEP = "server/step"
+#: instant — a cross-session hit attributed to its producer (args:
+#: producer, consumer, request_id, producer_request, key, nbytes,
+#: cost_avoided; the per-tenant-pair benefit matrix aggregates these).
+EV_SERVER_ATTRIBUTION = "server/attribution"
+#: instant — one request finished (args: request_id, tenant, ok,
+#: latency_s, steps, retries).
+EV_SERVER_REQUEST = "server/request"
+#: instant — the flight recorder dumped its window (args: reason,
+#: request_id, tenant, events).
+EV_FLIGHT_DUMP = "server/flight_dump"
 
 #: span — one federated request round-trip (submit -> last response).
 EV_FED_REQUEST = "fed/request"

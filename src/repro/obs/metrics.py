@@ -59,6 +59,24 @@ _RATE_COUNTERS = (
     INSTRUCTIONS_EXECUTED,
 )
 
+#: default bucket edges (sim seconds) of per-tenant request-latency
+#: histograms (``server/tenant/<t>/request_latency_s``).
+SLO_LATENCY_BOUNDS = (0.001, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 30.0)
+
+
+def percentile(values: list[float], q: float) -> float:
+    """Nearest-rank percentile of ``values`` (``q`` in [0, 100]).
+
+    Exact (no interpolation, no bucketing) and deterministic — the
+    server SLO report uses it on raw per-request sim latencies, where
+    histogram approximation would hide small regressions.
+    """
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(1, -(-len(ordered) * q // 100))  # ceil without floats
+    return ordered[int(rank) - 1]
+
 
 class MetricSeries:
     """One gauge time-series: ``(sim-time, value)`` samples."""
@@ -185,6 +203,19 @@ class MetricsRegistry:
             hist = self._histograms[name] = Histogram(name, bounds, unit)
         return hist
 
+    def observe(self, name: str, value: float,
+                bounds: tuple[float, ...] = SLO_LATENCY_BOUNDS,
+                unit: str = "") -> None:
+        """Record one observation into the labeled histogram ``name``.
+
+        The label is part of the series name (e.g.
+        ``server/tenant/alpha/request_latency_s``), following the
+        ``subsystem/.../metric`` convention everywhere else — this is
+        how the server scheduler feeds per-tenant SLO series without
+        the registry knowing about tenants.
+        """
+        self.histogram(name, bounds, unit).observe(value)
+
     def series(self) -> dict[str, MetricSeries]:
         return dict(self._series)
 
@@ -283,6 +314,11 @@ class NullMetrics:
     def histogram(self, name: str, bounds: tuple[float, ...],
                   unit: str = "") -> Histogram:
         return Histogram(name, bounds, unit)
+
+    def observe(self, name: str, value: float,
+                bounds: tuple[float, ...] = SLO_LATENCY_BOUNDS,
+                unit: str = "") -> None:
+        pass
 
     def tick(self, session: "Session") -> None:
         pass

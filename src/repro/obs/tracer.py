@@ -92,6 +92,22 @@ class Tracer:
         self.session_id = session_id
         self.sinks = sinks if sinks is not None else [RingBufferSink()]
         self._stack: list[Span] = []
+        #: bound request context (``repro.obs.request``): while set,
+        #: every emitted event inherits ``request_id``/``tenant`` args.
+        self.request = None
+
+    # -- request binding -----------------------------------------------------
+
+    def bind_request(self, ctx) -> None:
+        """Bind (or clear, with ``None``) the active request context.
+
+        The server scheduler binds the advancing request's
+        :class:`~repro.obs.request.RequestContext` here on every
+        scheduling quantum, so the whole stack below ``Session.evaluate``
+        — dispatch, arbiter, cache, substrate — emits request-stamped
+        events without per-call-site plumbing.
+        """
+        self.request = ctx
 
     # -- time ---------------------------------------------------------------
 
@@ -102,7 +118,22 @@ class Tracer:
     # -- emission -----------------------------------------------------------
 
     def emit(self, event: Event) -> None:
-        """Dispatch one finished event to every sink."""
+        """Dispatch one finished event to every sink.
+
+        Request stamping happens here — the single choke point every
+        span/instant/complete passes through — so bound
+        ``request_id``/``tenant`` fields reach events emitted by *any*
+        layer, including :class:`Span` exits that construct their event
+        directly.  Explicit per-event args win over the binding.
+        """
+        request = self.request
+        if request is not None:
+            args = event.args
+            if args is None:
+                event.args = dict(request.as_args())
+            else:
+                args.setdefault("request_id", request.request_id)
+                args.setdefault("tenant", request.tenant)
         for sink in self.sinks:
             sink.emit(event)
 
@@ -167,9 +198,15 @@ class NullTracer:
 
     enabled = False
     session_id = -1
+    request = None
 
     def now(self, lane: str = LANE_CP) -> float:
         return 0.0
+
+    def bind_request(self, ctx) -> None:
+        # no-op: the singleton must stay stateless — the scheduler binds
+        # unconditionally, traced or not.
+        pass
 
     def emit(self, event: Event) -> None:
         pass

@@ -11,7 +11,9 @@ The :class:`Scheduler` runs a request stream deterministically: a
 seeded interleave picks which request advances next, admission refusals
 (:class:`~repro.common.errors.AdmissionError`) surface as backpressure
 and requeue the request, and the :class:`ServerReport` aggregates
-per-request outcomes, merged counters, and per-tenant occupancy.
+per-request outcomes, merged counters, per-tenant occupancy and SLO
+metrics, a producer→consumer cost-attribution matrix, and any
+flight-recorder post-mortem dumps (see ``repro.obs.request``).
 """
 
 from repro.server.demo import (

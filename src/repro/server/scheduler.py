@@ -18,6 +18,17 @@ strict quota/occupancy gate in ``Session.evaluate``) are backpressure,
 not failures: the scheduler restarts the request's program on the same
 session — reuse makes the replay cheap — up to ``max_retries`` times
 before marking it failed.
+
+Request observability (``repro.obs.request``): the scheduler mints one
+:class:`~repro.obs.request.RequestContext` per request and binds it
+onto the request's session and the substrate tracer on every quantum,
+so every traced span/instant under a request carries
+``request_id``/``tenant``.  Independently of tracing, an always-on
+:class:`~repro.obs.request.FlightRecorder` keeps a bounded window of
+recent scheduler events and dumps it automatically when an
+``AdmissionError`` exhausts its retries, any other exception (e.g. a
+``VerificationError``) escapes a request, or an injected fault
+recovers — the post-mortem context is already there with tracing off.
 """
 
 from __future__ import annotations
@@ -28,14 +39,23 @@ from typing import Callable, Optional
 
 from repro.common.config import MemphisConfig
 from repro.common.errors import AdmissionError
+from repro.common.simclock import HOST
 from repro.common.stats import (
+    FAULTS_RECOVERED,
     SERVER_REQUESTS,
     SERVER_STEPS,
     Stats,
 )
 from repro.core.session import Session
 from repro.core.substrate import Substrate
-from repro.obs.events import EV_SERVER_STEP
+from repro.obs.events import (
+    EV_SERVER_BACKPRESSURE,
+    EV_SERVER_REQUEST,
+    EV_SERVER_STEP,
+)
+from repro.obs.metrics import percentile
+from repro.obs.request import FlightRecorder, RequestContext
+from repro.obs.tracer import current_collector
 
 
 class Request:
@@ -53,39 +73,51 @@ class Request:
 class RequestResult:
     """Outcome of one request after the scheduler drained it."""
 
-    __slots__ = ("name", "tenant", "ok", "value", "error", "steps",
-                 "retries")
+    __slots__ = ("name", "tenant", "request_id", "ok", "value", "error",
+                 "steps", "retries", "sim_latency_s")
 
-    def __init__(self, name: str, tenant: str) -> None:
+    def __init__(self, name: str, tenant: str,
+                 request_id: str = "") -> None:
         self.name = name
         self.tenant = tenant
+        self.request_id = request_id
         self.ok = False
         self.value = None
         self.error: Optional[str] = None
         self.steps = 0
         self.retries = 0
+        #: host sim-clock seconds the request's session consumed by the
+        #: time the request finished (includes backpressure replays).
+        self.sim_latency_s = 0.0
 
     def as_record(self) -> dict:
         return {
             "name": self.name,
             "tenant": self.tenant,
+            "request_id": self.request_id,
             "ok": self.ok,
             "error": self.error,
             "steps": self.steps,
             "retries": self.retries,
+            "sim_latency_s": self.sim_latency_s,
         }
 
 
 class _Task:
     """Scheduler-internal live state of one request."""
 
-    __slots__ = ("request", "session", "gen", "result")
+    __slots__ = ("request", "session", "ctx", "gen", "result", "recovered")
 
-    def __init__(self, request: Request, session: Session) -> None:
+    def __init__(self, request: Request, session: Session,
+                 ctx: RequestContext) -> None:
         self.request = request
         self.session = session
+        self.ctx = ctx
         self.gen: Optional[GeneratorType] = None
-        self.result = RequestResult(request.name, request.tenant)
+        self.result = RequestResult(request.name, request.tenant,
+                                    ctx.request_id)
+        #: faults/recovered snapshot, for recovery-triggered dumps.
+        self.recovered = 0
 
 
 class ServerReport:
@@ -93,17 +125,77 @@ class ServerReport:
 
     def __init__(self, substrate: Substrate,
                  results: list[RequestResult],
-                 sessions: list[Session]) -> None:
+                 sessions: list[Session],
+                 flight: Optional[FlightRecorder] = None) -> None:
         self.results = results
+        self.sessions = sessions
         #: substrate-level counters (cache + server namespaces).
         self.substrate_counters = substrate.stats.counters()
         #: per-tenant CP occupancy/quota snapshot.
         self.tenants = substrate.tenant_occupancy()
+        #: producer→consumer dedup benefit matrix (Eq. 2 accounting).
+        self.attribution = substrate.attribution_matrix()
+        #: per-tenant SLO metrics (latency percentiles, hit rate, ...).
+        self.slo = self._build_slo(substrate, results)
+        #: flight-recorder post-mortem dumps taken during the run.
+        self.flight_dumps = list(flight.dumps) if flight is not None else []
         #: merged counters across the substrate and every session.
         merged = Stats().merge(substrate.stats)
         for session in sessions:
             merged.merge(session.stats)
         self.merged = merged
+
+    @staticmethod
+    def _build_slo(substrate: Substrate,
+                   results: list[RequestResult]) -> dict[str, dict]:
+        """Per-tenant SLO record: one row per registered tenant."""
+        consumed: dict[str, dict[str, float]] = {}
+        produced: dict[str, int] = {}
+        for cell in substrate.attribution_matrix():
+            c = consumed.setdefault(cell["consumer"], {"hits": 0, "bytes": 0})
+            c["hits"] += cell["hits"]
+            c["bytes"] += cell["bytes"]
+            produced[cell["producer"]] = (
+                produced.get(cell["producer"], 0) + cell["bytes"]
+            )
+        occupancy = substrate.tenant_occupancy()
+        out: dict[str, dict] = {}
+        for tenant in sorted(substrate.tenants):
+            rs = [r for r in results if r.tenant == tenant]
+            latencies = [r.sim_latency_s for r in rs if r.ok]
+            events = substrate.tenant_events.get(tenant, {})
+            probes = events.get("probes", 0)
+            hits = events.get("hits", 0)
+            occ = occupancy.get(tenant, {})
+            quota = occ.get("quota")
+            out[tenant] = {
+                "tenant": tenant,
+                "requests": len(rs),
+                "completed": sum(1 for r in rs if r.ok),
+                "failed": sum(1 for r in rs if not r.ok),
+                "retries": sum(r.retries for r in rs),
+                "latency_p50_s": percentile(latencies, 50),
+                "latency_p99_s": percentile(latencies, 99),
+                "probes": probes,
+                "hits": hits,
+                "hit_rate": (hits / probes) if probes else 0.0,
+                "cross_session_hits": int(
+                    consumed.get(tenant, {}).get("hits", 0)
+                ),
+                "dedup_bytes_consumed": int(
+                    consumed.get(tenant, {}).get("bytes", 0)
+                ),
+                "dedup_bytes_produced": int(produced.get(tenant, 0)),
+                "backpressure_events": events.get("backpressure_events", 0),
+                "admission_refusals": events.get("admission_refusals", 0),
+                "quota_refusals": events.get("quota_refusals", 0),
+                "cp_used": occ.get("used", 0),
+                "cp_quota": quota,
+                "quota_headroom": (
+                    quota - occ.get("used", 0) if quota is not None else None
+                ),
+            }
+        return out
 
     @property
     def ok(self) -> bool:
@@ -127,6 +219,13 @@ class ServerReport:
                 or name.startswith("cache/")
             },
             "tenants": self.tenants,
+            "slo": self.slo,
+            "attribution": self.attribution,
+            "flight_dumps": [
+                {"reason": d["reason"], "request_id": d["request_id"],
+                 "tenant": d["tenant"]}
+                for d in self.flight_dumps
+            ],
         }
 
     def format(self) -> str:
@@ -150,6 +249,32 @@ class ServerReport:
                 f"  tenant {tenant:<8s} cp_used={occ['used']:<12d} "
                 f"quota={quota} pinned_entries={occ['pinned_entries']}"
             )
+        if self.slo:
+            lines.append("  -- per-tenant SLO --")
+            for tenant, row in self.slo.items():
+                lines.append(
+                    f"  {tenant:<8s} req={row['completed']}/"
+                    f"{row['requests']:<3d} "
+                    f"p50={row['latency_p50_s']:.6f}s "
+                    f"p99={row['latency_p99_s']:.6f}s "
+                    f"hit_rate={row['hit_rate']:.3f} "
+                    f"bp={row['backpressure_events']} "
+                    f"refused={row['admission_refusals']}"
+                )
+        if self.attribution:
+            lines.append("  -- attribution (producer -> consumer) --")
+            for cell in self.attribution:
+                lines.append(
+                    f"  {cell['producer']:<8s} -> {cell['consumer']:<8s} "
+                    f"hits={cell['hits']:<4d} bytes={cell['bytes']:<10d} "
+                    f"cost_avoided={cell['cost_avoided']:.3e}"
+                )
+        for dump in self.flight_dumps:
+            lines.append(
+                f"  flight dump: reason={dump['reason']} "
+                f"request={dump['request_id']} tenant={dump['tenant']} "
+                f"events={len(dump['events'])}"
+            )
         return "\n".join(lines)
 
 
@@ -165,7 +290,8 @@ class Scheduler:
     def __init__(self, substrate: Optional[Substrate] = None, *,
                  config: Optional[MemphisConfig] = None,
                  config_factory: Optional[Callable[[], MemphisConfig]] = None,
-                 seed: int = 0, max_retries: int = 8) -> None:
+                 seed: int = 0, max_retries: int = 8,
+                 flight_capacity: int = 256) -> None:
         self.config = config or MemphisConfig.server_session()
         self.substrate = substrate if substrate is not None \
             else Substrate.shared_substrate(self.config)
@@ -174,6 +300,8 @@ class Scheduler:
         self._config_factory = config_factory or MemphisConfig.server_session
         self.seed = seed
         self.max_retries = max_retries
+        #: always-on bounded post-mortem window (``repro.obs.request``).
+        self.flight = FlightRecorder(flight_capacity)
         self._requests: list[Request] = []
         self.sessions: list[Session] = []
 
@@ -200,16 +328,29 @@ class Scheduler:
     def run(self) -> ServerReport:
         """Drain the request queue; returns the aggregated report."""
         rng = random.Random(self.seed)
+        collector = current_collector()
+        if collector is not None and self.flight not in collector.sinks:
+            # traced run: the post-mortem window also sees full spans
+            collector.add_sink(self.flight)
         tasks = []
-        for request in self._requests:
+        for index, request in enumerate(self._requests):
             # sessions attach in submit order, so uids — and therefore
             # key namespaces — are deterministic
             session = Session(
                 self._config_factory(), substrate=self.substrate,
                 tenant=request.tenant,
             )
+            ctx = RequestContext(
+                f"req-{index:03d}-{request.name}", request.tenant,
+                seed=self.seed, name=request.name,
+            )
+            session.bind_request(ctx)
+            if session.trace_collector is not None:
+                session.trace_collector.session_labels[
+                    session.tracer.session_id
+                ] = f"{request.name}@{request.tenant}"
             self.sessions.append(session)
-            tasks.append(_Task(request, session))
+            tasks.append(_Task(request, session, ctx))
         self._requests = []
         active = list(tasks)
         while active:
@@ -217,8 +358,9 @@ class Scheduler:
             if self._step(active[index]):
                 active.pop(index)
         self.substrate.activate(None)
+        self.substrate.tracer.bind_request(None)
         return ServerReport(self.substrate, [t.result for t in tasks],
-                            self.sessions)
+                            self.sessions, flight=self.flight)
 
     def _step(self, task: _Task) -> bool:
         """Advance one request by one scheduling quantum; True = done."""
@@ -226,37 +368,98 @@ class Scheduler:
         substrate.stats.inc(SERVER_STEPS)
         task.result.steps += 1
         substrate.activate(task.session._ctx)
-        if substrate.tracer.enabled:
-            substrate.tracer.instant(
+        now = task.session.clock.now(HOST)
+        tracer = substrate.tracer
+        if tracer.enabled:
+            tracer.bind_request(task.ctx)
+            tracer.instant(
                 EV_SERVER_STEP, tenant=task.request.tenant,
                 request=task.request.name, step=task.result.steps,
             )
+        else:
+            # untraced: the flight recorder still gets one cheap
+            # instant per quantum, so a dump has scheduling context
+            self.flight.record(EV_SERVER_STEP, now, ctx=task.ctx,
+                               step=task.result.steps)
         try:
             if task.gen is None:
                 out = task.request.program(task.session)
                 if isinstance(out, GeneratorType):
                     task.gen = out
+                    self._check_recovery(task)
                     return False
-                task.result.value = out
-                task.result.ok = True
-                return True
+                return self._finish(task, out)
             next(task.gen)
+            self._check_recovery(task)
             return False
         except StopIteration as stop:
-            task.result.value = stop.value
-            task.result.ok = True
-            return True
+            return self._finish(task, stop.value)
         except AdmissionError as exc:
             # backpressure: the generator (if any) died with the raise,
             # so restart the program on the same session — reuse makes
             # the replay cheap — until the retry budget runs out
             task.gen = None
             task.result.retries += 1
+            ts = task.session.clock.now(HOST)
+            if not tracer.enabled:
+                self.flight.record(
+                    EV_SERVER_BACKPRESSURE, ts, ctx=task.ctx,
+                    region=exc.region, nbytes=exc.demand,
+                    retry=task.result.retries,
+                )
             if task.result.retries > self.max_retries:
                 task.result.error = f"admission refused: {exc}"
+                self.flight.dump(
+                    "admission_error", ts=ts, ctx=task.ctx,
+                    region=exc.region, demand=exc.demand,
+                    retries=task.result.retries,
+                )
                 return True
             return False
         except Exception as exc:  # noqa: BLE001 - fault isolation
-            # one tenant's failure must not take the server down
+            # one tenant's failure must not take the server down; the
+            # flight recorder preserves what was in flight (this is the
+            # VerificationError path, among others)
             task.result.error = f"{type(exc).__name__}: {exc}"
+            self.flight.dump(
+                type(exc).__name__, ts=task.session.clock.now(HOST),
+                ctx=task.ctx, message=str(exc),
+            )
             return True
+
+    def _finish(self, task: _Task, value) -> bool:
+        """Mark a request complete; record its SLO latency sample."""
+        task.result.value = value
+        task.result.ok = True
+        latency = task.session.clock.now(HOST)
+        task.result.sim_latency_s = latency
+        self._check_recovery(task)
+        tracer = self.substrate.tracer
+        if tracer.enabled:
+            tracer.instant(
+                EV_SERVER_REQUEST, ok=True, latency_s=latency,
+                steps=task.result.steps, retries=task.result.retries,
+            )
+        else:
+            self.flight.record(
+                EV_SERVER_REQUEST, latency, ctx=task.ctx, ok=True,
+                latency_s=latency, steps=task.result.steps,
+                retries=task.result.retries,
+            )
+        metrics = task.session.metrics
+        if metrics.enabled:
+            metrics.observe(
+                f"server/tenant/{task.request.tenant}/request_latency_s",
+                latency, unit="s",
+            )
+        return True
+
+    def _check_recovery(self, task: _Task) -> None:
+        """Dump the flight window when an injected fault just recovered."""
+        recovered = task.session.stats.get(FAULTS_RECOVERED)
+        if recovered > task.recovered:
+            task.recovered = recovered
+            self.flight.dump(
+                "fault_recovery", ts=task.session.clock.now(HOST),
+                ctx=task.ctx, recovered=recovered,
+            )

@@ -150,6 +150,56 @@ class TestChainEquivalence:
         assert len(session.cache) == 0
 
 
+class TestServerZeroOverhead:
+    """The request-observability layer must cost nothing when disabled.
+
+    ``benchmarks/baselines/server_mixed_counters.json`` was captured
+    from the committed tree *before* the request layer existed; the
+    same demo run today — request contexts minted, flight recorder on,
+    attribution matrix maintained — must reproduce it byte-for-byte:
+    identical merged counters, request outcomes, tenant occupancy, and
+    result values, with every session still on the fast dispatch loop.
+    """
+
+    BASELINE = "benchmarks/baselines/server_mixed_counters.json"
+
+    @pytest.fixture()
+    def baseline(self):
+        import json
+        import os
+
+        path = os.path.join(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__))), self.BASELINE)
+        with open(path, "r", encoding="utf-8") as fh:
+            return json.load(fh)
+
+    def test_counters_byte_identical_to_pre_request_baseline(self, baseline):
+        from repro.server import run_server_demo
+
+        report = run_server_demo(baseline["sessions"],
+                                 seed=baseline["seed"])
+        assert dict(report.merged.counters()) == baseline["merged_counters"]
+        assert report.tenants == baseline["tenants"]
+        assert {r.name: r.value for r in report.results} \
+            == baseline["values"]
+        records = {r["name"]: r for r in
+                   (res.as_record() for res in report.results)}
+        for rec in baseline["requests"]:
+            got = records[rec["name"]]
+            for key in ("tenant", "ok", "steps", "retries", "error"):
+                assert got[key] == rec[key], (rec["name"], key)
+
+    def test_fast_loop_selected_with_request_layer_disabled(self, baseline):
+        from repro.obs.tracer import NULL_TRACER
+        from repro.server import run_server_demo
+
+        report = run_server_demo(baseline["sessions"],
+                                 seed=baseline["seed"])
+        for session in report.sessions:
+            assert session.tracer is NULL_TRACER
+            assert select_loop(session.interpreter) is run_fast
+
+
 class TestFig12Equivalence:
     @pytest.mark.parametrize("setting", ["Base", "MPH"])
     def test_byte_identical_under_metrics_collector(self, setting):
